@@ -1,0 +1,45 @@
+"""A1–A4 — design-choice ablations (DESIGN.md §5)."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_ablations(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("A1", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "A1-A5", result.render())
+
+    a1, a2, a3, a4, a5 = result.tables
+
+    # A1: fully-fresh reads converge at least as fast as fully-stale ones.
+    stale_iters = {row[0]: row[1] for row in a1.rows}
+    assert stale_iters[0.0] <= stale_iters[1.0]
+
+    # A2: block size monotonically reduces off-block mass and iterations.
+    masses = [row[1] for row in a2.rows]
+    iters = [row[2] for row in a2.rows]
+    assert all(a > b for a, b in zip(masses, masses[1:]))
+    assert iters[0] > iters[-1]
+
+    # A3: all orders converge; spread is small at the GPU operating point.
+    vals = [row[1] for row in a3.rows]
+    assert all(isinstance(v, int) for v in vals)
+    assert max(vals) - min(vals) <= 0.2 * min(vals)
+
+    # A4: async-(5) is within a few sweeps of the synchronous two-stage
+    # method (same blocks/inner sweeps), and exact block solves win.
+    by_label = {row[0]: row[1] for row in a4.rows}
+    async5 = by_label["async-(5), gpu schedule"]
+    twostage = by_label["two-stage block-Jacobi (q=5)"]
+    exact = by_label["block-Jacobi (exact solves)"]
+    assert abs(async5 - twostage) <= 0.15 * twostage
+    assert exact <= min(async5, twostage)
+
+    # A5: work balancing shrinks the per-block cost spread at no
+    # convergence cost.
+    (label_r, imb_r, it_r), (label_w, imb_w, it_w) = a5.rows
+    assert imb_w < imb_r
+    assert isinstance(it_w, int) and isinstance(it_r, int)
+    assert abs(it_w - it_r) <= max(2, 0.2 * it_r)

@@ -1,0 +1,17 @@
+"""X2 — async-(k) sweeps as a CG preconditioner (§5 outlook)."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_async_preconditioned_cg(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("X2", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "X2", result.render())
+
+    for row in result.tables[0].rows:
+        name, cg_iters, pcg_iters, ratio, t_cg, t_pcg = row
+        assert pcg_iters < cg_iters, name
+        assert ratio > 4.0, name  # an order-of-magnitude-ish iteration cut

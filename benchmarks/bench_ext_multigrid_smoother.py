@@ -1,0 +1,18 @@
+"""X1 — block-asynchronous smoothing in geometric multigrid (§5 outlook)."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_multigrid_smoother_ablation(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("X1", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "X1", result.render())
+
+    two_sweep = {row[0]: row[3] for row in result.tables[0].rows if row[1] == 2}
+    # async smoothing sits between damped Jacobi and Gauss-Seidel, and all
+    # three deliver textbook V-cycle contraction.
+    assert two_sweep["gauss-seidel"] <= two_sweep["async"] <= two_sweep["jacobi"] + 0.02
+    assert all(cf < 0.3 for cf in two_sweep.values())

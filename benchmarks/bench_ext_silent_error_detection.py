@@ -1,0 +1,26 @@
+"""X4 — silent-error detection from convergence anomalies (§4.5 outlook)."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_silent_error_detection(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("X4", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "X4", result.render())
+
+    # Every injected corruption (even 0.1%) is caught, quickly.
+    for corruption, t0, first, latency, reason in result.tables[0].rows:
+        assert first is not None, (corruption, t0)
+        assert latency <= 12
+        assert reason != "missed"
+
+    # And healthy chaotic runs raise no false alarms.
+    assert "false alarms" in result.notes[0]
+    assert ": 0 " in result.notes[0]
+
+    # Localization pinpoints the broken blocks with high precision.
+    for seed, actual, suspects, precision in result.tables[1].rows:
+        assert precision >= 2.0 / 3.0, seed

@@ -1,0 +1,21 @@
+"""X5 — seeded schedule model vs genuine thread chaos (model validation)."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_threaded_validation(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("X5", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "X5", result.render())
+
+    for name, sim_iters, med, lo, hi in result.tables[0].rows:
+        # The threaded engine converged every time (counts are finite and
+        # below its pass budget), and the seeded model is neither wildly
+        # optimistic nor pessimistic: within ~8x of real-thread chaos.
+        assert hi < 4000, name
+        assert sim_iters is not None
+        assert med / sim_iters < 8.0, name
+        assert med / sim_iters > 0.5, name

@@ -1,0 +1,28 @@
+"""F10/T6 — fault tolerance under 25% core failure (Figure 10, Table 6)."""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_fault_tolerance_regeneration(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("F10", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "F10_T6", result.render())
+
+    # Table 6 shape: recovery delay grows with t_r; no recovery stagnates.
+    for row in result.tables[0].rows:
+        name, r10, r20, r30, stagnation = row
+        assert r10 is not None and r20 is not None and r30 is not None
+        assert 0 < r10 < r20 < r30, name
+        assert stagnation > 1e-9, name  # far from the converged floor
+
+    # Figure 10 shape: recovered runs reach the no-failure residual level;
+    # the non-recovering run plateaus orders of magnitude above it.
+    for key in ("fig10_fv1", "fig10_Trefethen_2000"):
+        s = result.series[key]
+        clean_floor = s["no failure"][-1]
+        assert s["recover-(10)"][-1] < 1e3 * max(clean_floor, 1e-16)
+        assert s["no recovery"][-1] > 1e3 * max(clean_floor, 1e-16)

@@ -1,0 +1,29 @@
+"""F11 — multi-GPU time-to-convergence on Trefethen_20000 (Figure 11)."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_regeneration(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("F11", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "F11", result.render())
+
+    rows = {row[0]: row[1:] for row in result.tables[0].rows}
+    amc, dc, dk = rows["AMC"], rows["DC"], rows["DK"]
+
+    # §4.6's bar pattern:
+    assert amc[1] < 0.6 * amc[0]      # AMC: 2 GPUs almost halve
+    assert amc[1] < amc[2] < amc[0]   # 3 GPUs between 2 and 1 (QPI)
+    assert amc[3] < amc[1]            # 4 GPUs best, but...
+    assert amc[3] > 0.6 * amc[1]      # ...far from another 2x
+    for direct in (dc, dk):
+        assert direct[0] < amc[0]     # direct faster on a single GPU
+        assert direct[1] < direct[0]  # small gain at two
+        assert direct[2] > direct[1]  # collapse past the socket boundary
+
+    # Convergence is essentially device-count independent.
+    iters = [row[1] for row in result.tables[1].rows]
+    assert max(iters) - min(iters) <= 2

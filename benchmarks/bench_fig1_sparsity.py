@@ -1,0 +1,19 @@
+"""F1 — regenerate Figure 1 (sparsity structure) and time it."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_fig1_regeneration(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("F1", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "F1", result.render())
+
+    rows = {row[0]: row for row in result.tables[0].rows}
+    # The structural facts the paper's arguments rest on:
+    assert rows["Chem97ZtZ"][4] == 1.0          # diagonal local blocks (§4.3)
+    assert rows["fv1"][4] > rows["fv1"][5]      # off-block mass falls with block size
+    assert rows["s1rmt3m1"][3] < 30             # narrow-band structural matrix
+    assert rows["Trefethen_2000"][3] == 1024    # power-of-two couplings

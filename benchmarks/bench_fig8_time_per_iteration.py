@@ -1,0 +1,27 @@
+"""F8 — average time per iteration vs total iterations (Figure 8)."""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_regeneration(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("F8", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "F8", result.render())
+
+    s = result.series["fig8_fv3"]
+    gs = s["Gauss-Seidel (CPU)"]
+    jac = s["Jacobi (GPU)"]
+    asy = s["async-(1) (GPU)"]
+
+    # CPU flat; GPU averages decay ~1/N toward the kernel floor.
+    assert np.allclose(gs, gs[0])
+    assert np.all(np.diff(jac) <= 1e-12)
+    assert np.all(np.diff(asy) <= 1e-12)
+    assert jac[0] > 2.5 * jac[-1]
+
+    # Orderings at large N: GS >> Jacobi > async-(1) (Table 5's floor).
+    assert gs[-1] > jac[-1] > asy[-1]

@@ -1,0 +1,34 @@
+"""F9 — relative residual vs (modelled) runtime (Figure 9)."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_regeneration(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("F9", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "F9", result.render())
+
+    summary = {row[0]: row[1:] for row in result.tables[0].rows}
+
+    # fv1 (Fig. 9b): async-(5) ~2x faster than Jacobi; both orders of
+    # magnitude ahead of CPU Gauss-Seidel; CG ahead of async.
+    gs, jac, asy, cg = summary["fv1"]
+    assert asy < 0.7 * jac
+    assert asy < 0.15 * gs
+    assert cg == min(v for v in (jac, asy, cg) if v is not None) or cg < 1.5 * asy
+
+    # Chem97ZtZ (Fig. 9a): GPU methods all far ahead of Gauss-Seidel and
+    # within a small factor of each other.
+    gs, jac, asy, cg = summary["Chem97ZtZ"]
+    assert max(jac, asy) < 0.7 * gs
+    assert max(jac, asy, cg) < 5 * min(jac, asy, cg)
+
+    # Trefethen_2000 (Fig. 9d): async-(5) superior to Jacobi and CG at
+    # this accuracy, and beats GS beyond small iteration counts.
+    gs, jac, asy, cg = summary["Trefethen_2000"]
+    assert asy < jac
+    assert cg is None or asy < cg
+    assert asy < gs

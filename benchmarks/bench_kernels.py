@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the computational kernels everything else is built on.
+
+These are the package's performance regression suite: SpMV, the level-
+scheduled triangular sweep, one Jacobi iteration, one async-(k) engine
+sweep, and the block-decomposition build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig
+from repro.core.engine import AsyncEngine
+from repro.matrices import default_rhs, get_matrix
+from repro.solvers import JacobiSolver, StoppingCriterion
+from repro.solvers.triangular import TriangularSweep
+from repro.sparse import BlockRowView, CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def fv1():
+    return get_matrix("fv1")
+
+
+@pytest.fixture(scope="module")
+def rhs(fv1):
+    return default_rhs(fv1)
+
+
+def test_spmv_fv1(benchmark, fv1, rhs):
+    x = np.ones(fv1.shape[0])
+    out = np.empty(fv1.shape[0])
+    benchmark(fv1.matvec, x, out=out)
+
+
+def test_spmv_trefethen_20000(benchmark):
+    A = get_matrix("Trefethen_20000")
+    x = np.ones(A.shape[0])
+    out = np.empty(A.shape[0])
+    benchmark(A.matvec, x, out=out)
+
+
+def test_triangular_sweep_fv1(benchmark, fv1, rhs):
+    lower = fv1.lower_triangle(strict=True).add(
+        CSRMatrix.diagonal_matrix(fv1.diagonal())
+    )
+    sweep = TriangularSweep(lower)
+    out = np.empty(fv1.shape[0])
+    benchmark(sweep.solve, rhs, out=out)
+
+
+def test_jacobi_iteration_fv1(benchmark, fv1, rhs):
+    solver = JacobiSolver(stopping=StoppingCriterion(tol=0.0, maxiter=1))
+    state = solver._setup(fv1, rhs)
+    x = np.zeros(fv1.shape[0])
+    benchmark(solver._iterate, state, x)
+
+
+@pytest.mark.parametrize("k", [1, 5])
+def test_async_sweep_fv1(benchmark, fv1, rhs, k):
+    cfg = AsyncConfig(local_iterations=k, block_size=448, concurrency=42, seed=0)
+    view = BlockRowView(fv1, block_size=448)
+    engine = AsyncEngine(view, rhs, cfg)
+    x = np.zeros(fv1.shape[0])
+    benchmark(engine.sweep, x)
+
+
+def test_block_view_build_fv1(benchmark, fv1):
+    benchmark(BlockRowView, fv1, 448)
+
+
+def test_matrix_generation_fv1(benchmark):
+    from repro.matrices import fv_like
+
+    benchmark.pedantic(fv_like, args=(1,), rounds=3, iterations=1)
+
+
+def test_spectral_radius_power(benchmark, fv1):
+    from repro.matrices.analysis import iteration_matrix
+    from repro.sparse.linalg import spectral_radius
+
+    B = iteration_matrix(fv1)
+    benchmark.pedantic(
+        lambda: spectral_radius(B, method="power", tol=1e-8), rounds=3, iterations=1
+    )
+
+
+def test_spmv_ell_fv1(benchmark, fv1):
+    from repro.sparse import ELLMatrix
+
+    ell = ELLMatrix.from_csr(fv1)
+    x = np.ones(fv1.shape[1])
+    out = np.empty(fv1.shape[0])
+    benchmark(ell.matvec, x, out=out)
+
+
+def test_spmv_sell_fv1(benchmark, fv1):
+    from repro.sparse import SlicedELLMatrix
+
+    sell = SlicedELLMatrix.from_csr(fv1, slice_height=32)
+    x = np.ones(fv1.shape[1])
+    out = np.empty(fv1.shape[0])
+    benchmark(sell.matvec, x, out=out)
+
+
+def test_threaded_async_trefethen(benchmark):
+    from repro.core.threaded import ThreadedAsyncSolver
+
+    A = get_matrix("Trefethen_2000")
+    b = default_rhs(A)
+    solver = ThreadedAsyncSolver(
+        local_iterations=5, block_size=256, workers=4,
+        stopping=StoppingCriterion(tol=1e-9, maxiter=2000),
+    )
+    benchmark.pedantic(lambda: solver.solve(A, b), rounds=3, iterations=1)

@@ -1,0 +1,22 @@
+"""T1 — regenerate Table 1 (matrix characteristics) and time it."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+
+
+def test_table1_regeneration(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("T1", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "T1", result.render())
+
+    rows = {row[0]: row for row in result.tables[0].rows}
+    # rho(B) reproduced for every matrix (the convergence-governing value).
+    for name, row in rows.items():
+        paper_rho, measured_rho = row[7], row[8]
+        assert abs(measured_rho - paper_rho) < 5e-3, name
+    # n and nnz exact for the exactly-reconstructable systems.
+    assert rows["Trefethen_2000"][2] == 41906
+    assert rows["fv1"][2] == 85264
+    assert rows["Chem97ZtZ"][2] == 7361

@@ -1,0 +1,28 @@
+"""T4 — local-iteration overhead (Table 4)."""
+
+from conftest import write_artifact
+
+from repro.experiments import run_experiment
+from repro.gpu.timing import LOCAL_ITER_FRACTION
+
+
+def test_table4_regeneration(benchmark, artifact_dir, quick):
+    result = benchmark.pedantic(
+        lambda: run_experiment("T4", quick=quick), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "T4", result.render())
+
+    # Model reproduces the paper's totals within fit accuracy.
+    modelled = {row[0]: row[1:] for row in result.tables[0].rows}
+    paper = {row[0]: row[1:] for row in result.tables[1].rows}
+    for k in modelled:
+        for ours, theirs in zip(modelled[k], paper[k]):
+            assert abs(ours - theirs) / theirs < 0.02
+
+    # The headline numbers: <5% per extra local sweep, <~35% at k=9.
+    assert LOCAL_ITER_FRACTION < 0.05
+    assert 8 * LOCAL_ITER_FRACTION < 0.40
+
+    # This implementation's measured sweeps grow monotonically-ish in k.
+    secs = [row[1] for row in result.tables[2].rows]
+    assert secs[-1] > secs[0]

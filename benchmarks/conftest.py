@@ -1,0 +1,44 @@
+"""Benchmark-harness plumbing.
+
+Every ``bench_*`` module regenerates one paper artifact (table/figure) via
+the experiment registry, times the regeneration with pytest-benchmark, and
+writes the rendered artifact to ``benchmarks/artifacts/<id>.txt`` so a
+complete ``pytest benchmarks/ --benchmark-only`` run leaves the full
+reproduction on disk.
+
+Scale: quick parameters by default; set ``REPRO_FULL=1`` for paper-scale
+runs (1000-run ensembles, 25k-iteration fv3 histories) and ``REPRO_RUNS``
+to override ensemble sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+def is_full() -> bool:
+    """Whether paper-scale parameters were requested."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return not is_full()
+
+
+def write_artifact(directory: Path, experiment_id: str, text: str) -> Path:
+    """Store one rendered artifact; returns the path."""
+    path = directory / f"{experiment_id}.txt"
+    path.write_text(text + "\n")
+    return path

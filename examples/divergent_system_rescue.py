@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Rescuing a Jacobi-divergent system with τ-scaling (paper §4.2).
+
+The s1rmt3m1 reconstruction is SPD but has ρ(B) ≈ 2.65 > 1: Jacobi and
+every block-asynchronous variant blow up.  The paper's remedy is the
+damped iteration matrix B = I − τD⁻¹A with τ = 2/(λ₁+λₙ); this example
+estimates τ with the package's Lanczos, applies it as the async engine's
+relaxation weight, and shows divergence turning into convergence.
+
+Run:  python examples/divergent_system_rescue.py
+"""
+
+import dataclasses
+
+from repro import BlockAsyncSolver, JacobiSolver, StoppingCriterion, default_rhs, get_matrix
+from repro.experiments.runner import paper_async_config
+from repro.solvers import estimate_tau
+
+
+def main() -> None:
+    print("Building s1rmt3m1 reconstruction (SPD, rho(B) = 2.65)...")
+    A = get_matrix("s1rmt3m1")
+    b = default_rhs(A)
+    stop = StoppingCriterion(tol=1e-10, maxiter=100, divergence_limit=1e30)
+
+    print("\nWithout scaling:")
+    for label, solver in (
+        ("Jacobi", JacobiSolver(stopping=stop)),
+        ("async-(5)", BlockAsyncSolver(paper_async_config(5, seed=0), stopping=stop)),
+    ):
+        r = solver.solve(A, b)
+        print(f"  {label:10s}: rel. residual after {r.iterations} iters = {r.relative_residuals()[-1]:.2e}")
+
+    print("\nEstimating tau = 2/(lambda_1 + lambda_n) of D^-1 A ...")
+    ts = estimate_tau(A, steps=150)
+    print(f"  lambda_1 ~ {ts.lambda_min:.3e}, lambda_n ~ {ts.lambda_max:.3f}")
+    print(f"  tau = {ts.tau:.4f}, predicted rho(B_tau) = {ts.predicted_rho:.6f}")
+
+    # The ill-conditioning makes tau-scaled relaxation converge slowly
+    # (rho_tau ~ 1 - 2*lambda_1/lambda_n) — exactly why the paper treats
+    # s1rmt3m1 as unsuitable for direct relaxation; we just demonstrate
+    # the divergence is gone.
+    long_stop = StoppingCriterion(tol=1e-10, maxiter=400)
+    cfg = dataclasses.replace(paper_async_config(5, seed=0), omega=ts.tau)
+    r = BlockAsyncSolver(cfg, stopping=long_stop).solve(A, b)
+    rel = r.relative_residuals()
+    print(f"\ntau-damped async-(5): residual {rel[0]:.2e} -> {rel[-1]:.2e} over {r.iterations} iters")
+    print("  monotone decrease restored" if rel[-1] < rel[10] < rel[0] else "  (unexpected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Fault tolerance: survive a 25% core failure mid-solve (paper §4.5).
+
+Reproduces the Figure 10 experiment at example scale: a quarter of the
+"cores" break at global iteration 10; runs either recover after t_r sweeps
+(the components are reassigned to healthy cores) or never do.  With
+recovery the iteration reaches the no-failure solution with a delay; without
+it the residual stagnates — no checkpointing needed, which is the paper's
+Exascale argument.
+
+Run:  python examples/fault_tolerant_solve.py
+"""
+
+import numpy as np
+
+from repro import BlockAsyncSolver, FaultScenario, StoppingCriterion, default_rhs, get_matrix
+from repro.experiments.runner import paper_async_config
+
+
+def sparkline(history, width=48) -> str:
+    """Render a residual history as a log-scale ASCII strip."""
+    marks = " .:-=+*#%@"
+    h = np.asarray(history)
+    h = h[np.linspace(0, len(h) - 1, width).astype(int)]
+    logs = np.log10(np.maximum(h, 1e-17))
+    lo, hi = logs.min(), logs.max()
+    span = max(hi - lo, 1e-9)
+    levels = ((hi - logs) / span * (len(marks) - 1)).astype(int)
+    return "".join(marks[v] for v in levels)
+
+
+def main() -> None:
+    A = get_matrix("fv1")
+    b = default_rhs(A)
+    stopping = StoppingCriterion(tol=0.0, maxiter=120)
+
+    scenarios = [("no failure", None)]
+    for tr in (10, 20, 30, None):
+        scenarios.append(
+            (
+                f"recover-({tr})" if tr is not None else "no recovery",
+                FaultScenario(fraction=0.25, t0=10, recovery=tr, seed=7),
+            )
+        )
+
+    print("async-(5) on fv1, 25% of cores fail at iteration 10")
+    print(f"{'scenario':14s} {'final rel.res':>14s}  residual history (log scale, high->low)")
+    for label, fault in scenarios:
+        solver = BlockAsyncSolver(paper_async_config(5, seed=1), fault=fault, stopping=stopping)
+        result = solver.solve(A, b)
+        rel = result.relative_residuals()
+        print(f"{label:14s} {rel[-1]:14.2e}  {sparkline(rel)}")
+
+    print(
+        "\nReading the strips: recovery scenarios dip back to the no-failure"
+        " floor after the recovery point; 'no recovery' flattens out early."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling of the three §3.4 communication strategies.
+
+Reproduces Figure 11 interactively: solves Trefethen_20000 with the
+per-device-snapshot convergence engine, then prices each iteration with the
+event-simulated interconnect model for AMC / DC / DK on 1-4 GPUs of the
+paper's Supermicro host (2 sockets x 2 Fermi C2070).
+
+Run:  python examples/multigpu_scaling.py
+"""
+
+import numpy as np
+
+from repro.core.schedules import AsyncConfig
+from repro.experiments.runner import paper_async_config
+from repro.gpu import MultiGPUModel, STRATEGIES, SUPERMICRO_4GPU
+from repro.gpu.multigpu import MultiDeviceEngine
+from repro.matrices import default_rhs, get_matrix
+from repro.sparse import BlockRowView
+
+
+def main() -> None:
+    name = "Trefethen_20000"
+    print(f"Building {name} (exact reconstruction, n=20000)...")
+    A = get_matrix(name)
+    b = default_rhs(A)
+    b_norm = np.linalg.norm(b)
+    cfg = paper_async_config(5, seed=1)
+    view = BlockRowView(A, block_size=cfg.block_size)
+
+    print("Convergence with per-device snapshots (tol 1e-12):")
+    iters = {}
+    for g in (1, 2, 3, 4):
+        engine = MultiDeviceEngine(view, b, cfg, g)
+        x = np.zeros(A.shape[0])
+        it = 0
+        while it < 200:
+            x = engine.sweep(x)
+            it += 1
+            if np.linalg.norm(A.residual(x, b)) <= 1e-12 * b_norm:
+                break
+        iters[g] = it
+        print(f"  {g} GPU(s): {it} global iterations")
+
+    model = MultiGPUModel(SUPERMICRO_4GPU)
+    print("\nModelled time-to-convergence (seconds), bar chart per strategy:")
+    scale = None
+    for strat in STRATEGIES:
+        times = [model.time_to_convergence(strat, name, g, iters[g]) for g in (1, 2, 3, 4)]
+        if scale is None:
+            scale = 40.0 / max(times)
+        print(f"  {strat}:")
+        for g, t in zip((1, 2, 3, 4), times):
+            print(f"    {g} GPU(s) {t:7.3f}s |{'#' * int(t * scale)}")
+
+    print(
+        "\nExpected §4.6 shape: AMC halves at 2 GPUs, dips at 3 (QPI), "
+        "recovers at 4; DC/DK barely gain at 2 and collapse past the socket."
+    )
+
+    print("\nWhy: one iteration's timeline per strategy (2 GPUs) —")
+    for strat in ("AMC", "DC"):
+        print(f"\n{strat}:")
+        print(model.trace(strat, name, 2, width=56))
+    print(
+        "\nAMC's lanes (pcie0/pcie1) overlap; DC funnels the peer's "
+        "transfers through the master's link (pcie0)."
+    )
+
+
+if __name__ == "__main__":
+    main()

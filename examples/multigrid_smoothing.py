@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Multigrid with a block-asynchronous smoother (the paper's §5 outlook).
+
+Solves the 2-D Poisson problem with a geometric V-cycle and compares
+smoothers: damped Jacobi, Gauss-Seidel, and async-(2) — showing the
+asynchronous method slotting into multigrid at essentially Gauss-Seidel
+quality while keeping the synchronization-free execution model.
+
+Run:  python examples/multigrid_smoothing.py
+"""
+
+import numpy as np
+
+from repro.extensions import MultigridPoisson, SmootherSpec
+
+
+def main() -> None:
+    levels = 7  # 127 x 127 fine grid
+    rng = np.random.default_rng(0)
+
+    print(f"2-D Poisson, fine grid {(1 << levels) - 1}^2, V(2,2)-cycles")
+    print(f"{'smoother':14s} {'contraction':>12s} {'cycles to 1e-10':>16s}")
+    for kind in ("jacobi", "gauss-seidel", "async"):
+        mg = MultigridPoisson(levels=levels, smoother=SmootherSpec(kind=kind, sweeps=2))
+        cf = mg.contraction_factor(cycles=8)
+        b = rng.standard_normal(mg.n)
+        _, history = mg.solve(b, tol=1e-10, maxcycles=40)
+        print(f"{kind:14s} {cf:12.3f} {len(history) - 1:16d}")
+
+    print(
+        "\nasync-(2) smoothing lands between damped Jacobi and Gauss-Seidel "
+        "— multigrid does not need a synchronous smoother."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The §4.1 study in miniature: how much do two async runs differ?
+
+Runs an ensemble of async-(5) solves that differ only in the scheduler
+seed (the software stand-in for re-running the same CUDA binary), prints
+the Table 2/3-style statistics, and demonstrates the paper's mechanism by
+sweeping the block size: the more coupling the blocks capture, the less
+the schedule matters.
+
+Run:  python examples/nondeterminism_study.py [nruns]
+"""
+
+import sys
+
+from repro.experiments.runner import paper_async_config
+from repro.matrices import default_rhs, get_matrix
+from repro.sparse import BlockRowView
+from repro.stats import run_ensemble
+
+
+def main() -> None:
+    nruns = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    A = get_matrix("fv1")
+    b = default_rhs(A)
+
+    print(f"async-(5) on fv1, {nruns} runs, block size 128 (paper §4.1 setup)")
+    cfg = paper_async_config(5, block_size=128)
+    stats = run_ensemble(A, b, nruns, 100, config=cfg, checkpoints=[10, 30, 50, 70, 100])
+    print(f"{'iter':>5s} {'avg res':>10s} {'max res':>10s} {'min res':>10s} {'rel var':>9s}")
+    for cp, m, mx, mn, rv in zip(
+        stats.checkpoints, stats.mean, stats.max, stats.min, stats.rel_variation
+    ):
+        print(f"{int(cp):5d} {m:10.2e} {mx:10.2e} {mn:10.2e} {rv:9.2e}")
+
+    print("\nVariation vs block size (relative variation at iteration 40):")
+    print(f"{'block':>6s} {'off-block mass':>15s} {'rel variation':>14s}")
+    for bs in (64, 128, 448):
+        view = BlockRowView(A, block_size=bs)
+        st = run_ensemble(
+            A, b, max(10, nruns // 2), 40, config=paper_async_config(5, block_size=bs),
+            checkpoints=[40],
+        )
+        print(f"{bs:6d} {view.off_block_fraction():15.3f} {st.rel_variation[0]:14.2e}")
+
+    print(
+        "\nThe paper's mechanism: variation tracks the off-block coupling "
+        "mass that local iterations cannot see."
+    )
+
+
+if __name__ == "__main__":
+    main()

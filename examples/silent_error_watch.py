@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Detecting silent errors from the residual trace alone (paper §4.5).
+
+The paper observes that for problems where convergence is expected, "a
+convergence delay or non-converging sequence of solution approximations
+indicates that a silent error has occurred".  This example injects a
+*silent* fault — 25 % of the cores keep computing but every update is
+0.1 % off — and shows an observational detector (it sees only the residual
+history) raising the alarm within a couple of sweeps, while staying quiet
+on healthy chaotic runs.
+
+Run:  python examples/silent_error_watch.py
+"""
+
+import numpy as np
+
+from repro import BlockAsyncSolver, FaultScenario, StoppingCriterion, default_rhs, get_matrix
+from repro.core import FaultLocalizer, SilentErrorDetector
+from repro.core.engine import AsyncEngine
+from repro.experiments.runner import paper_async_config
+from repro.sparse import BlockRowView
+
+
+def run_with_watch(A, b, fault, label):
+    solver = BlockAsyncSolver(
+        paper_async_config(5, seed=1), fault=fault, stopping=StoppingCriterion(tol=0.0, maxiter=70)
+    )
+    result = solver.solve(A, b)
+    detector = SilentErrorDetector(window=8, warmup=16)
+    alerts = detector.scan(result.relative_residuals())
+    print(f"\n{label}")
+    print(f"  final relative residual: {result.relative_residuals()[-1]:.2e}")
+    if alerts:
+        print(f"  ALERT: {alerts[0]}")
+    else:
+        print("  no anomaly detected")
+    return alerts
+
+
+def main() -> None:
+    A = get_matrix("fv1")
+    b = default_rhs(A)
+
+    print("async-(5) on fv1 with an observational convergence watchdog")
+
+    # Healthy chaotic runs: different schedules, no alarms.
+    quiet = 0
+    for seed in range(3):
+        solver = BlockAsyncSolver(
+            paper_async_config(5, seed=seed), stopping=StoppingCriterion(tol=0.0, maxiter=70)
+        )
+        r = solver.solve(A, b)
+        det = SilentErrorDetector(window=8, warmup=16)
+        quiet += not det.scan(r.relative_residuals())
+    print(f"\nhealthy runs (3 schedules): {quiet}/3 raise no alarm")
+
+    # A silent corruption: cores keep computing, 0.1% wrong.
+    run_with_watch(
+        A,
+        b,
+        FaultScenario(fraction=0.25, t0=25, recovery=None, kind="silent", corruption=1.001, seed=7),
+        "silent fault at iteration 25 (0.1% multiplicative error, never recovers)",
+    )
+
+    # A detectable hard failure, for contrast: freeze without recovery.
+    run_with_watch(
+        A,
+        b,
+        FaultScenario(fraction=0.25, t0=25, recovery=None, kind="freeze", seed=7),
+        "hard failure at iteration 25 (components frozen)",
+    )
+
+    # Localization: which blocks should the runtime reassign?  A broken
+    # core takes out a contiguous span (clustered=True); per-block residual
+    # shares point straight at it.
+    print("\nLocalizing a clustered silent fault (one broken core's span):")
+    cfg = paper_async_config(5, seed=1)
+    view = BlockRowView(A, block_size=cfg.block_size)
+    fault = FaultScenario(
+        fraction=0.1, t0=15, recovery=None, kind="silent", clustered=True, seed=9
+    )
+    engine = AsyncEngine(view, b, cfg, fault=fault)
+    localizer = FaultLocalizer(view, b)
+    x = np.zeros(A.shape[0])
+    for sweep in range(40):
+        x = engine.sweep(x)
+        if sweep == 12:
+            localizer.snapshot(x)  # healthy baseline, pre-failure
+    actual = sorted({view.block_of_row(i) for i in np.flatnonzero(fault.failed_components(A.shape[0]))})
+    suspects = localizer.suspects(x, top=len(actual))
+    print(f"  blocks actually broken: {actual}")
+    print(f"  localizer's suspects  : {sorted(suspects)}")
+
+    print(
+        "\nThe watchdog needs nothing but the residual trace — the basis for "
+        "the paper's claim that asynchronous methods can detect silent errors; "
+        "per-block residual shares then say WHERE to reassign."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that legacy editable installs (``pip install -e .``) work in offline
+environments without the ``wheel`` package; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — Block-Asynchronous Relaxation Methods for (simulated) GPUs.
+
+A complete, self-contained reproduction of
+
+    H. Anzt, S. Tomov, J. Dongarra, V. Heuveline,
+    "A Block-Asynchronous Relaxation Method for Graphics Processing Units",
+    IPDPS Workshops 2012 / JPDC Special Issue on Heterogeneous Computing.
+
+Quickstart
+----------
+>>> from repro import get_matrix, default_rhs, BlockAsyncSolver
+>>> A = get_matrix("fv1")
+>>> b = default_rhs(A)
+>>> result = BlockAsyncSolver(local_iterations=5, block_size=448, seed=0).solve(A, b)
+>>> result.converged
+True
+
+Package map
+-----------
+* :mod:`repro.sparse`      — CSR/COO containers, block-row decomposition,
+  spectral estimation (the storage/kernel substrate).
+* :mod:`repro.matrices`    — reconstructions of the paper's seven UFMC
+  test systems, characterization, MatrixMarket I/O, RCM reordering.
+* :mod:`repro.solvers`     — synchronous baselines: Jacobi, Gauss-Seidel /
+  SOR (level-scheduled), CG, τ-scaling.
+* :mod:`repro.core`        — the contribution: wave schedules, the
+  asynchronous engine, ``async-(k)``, fault scenarios, convergence theory.
+* :mod:`repro.gpu`         — the simulated GPU substrate: devices,
+  streams/event simulation, calibrated timing, multi-GPU strategies.
+* :mod:`repro.stats`       — run-ensemble statistics (§4.1).
+* :mod:`repro.extensions`  — §5 outlook, built: multigrid smoothing and
+  async-preconditioned CG.
+* :mod:`repro.experiments` — one module per paper table/figure, each
+  regenerating the corresponding artifact.
+"""
+
+from .core import AsyncConfig, BlockAsyncSolver, FaultScenario
+from .matrices import PAPER_TABLE1, SUITE_NAMES, characterize, default_rhs, get_matrix
+from .solvers import (
+    ConjugateGradientSolver,
+    GaussSeidelSolver,
+    JacobiSolver,
+    SolveResult,
+    SORSolver,
+    StoppingCriterion,
+    estimate_tau,
+)
+from .sparse import BlockRowView, COOMatrix, CSRMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsyncConfig",
+    "BlockAsyncSolver",
+    "FaultScenario",
+    "PAPER_TABLE1",
+    "SUITE_NAMES",
+    "characterize",
+    "default_rhs",
+    "get_matrix",
+    "ConjugateGradientSolver",
+    "GaussSeidelSolver",
+    "JacobiSolver",
+    "SORSolver",
+    "SolveResult",
+    "StoppingCriterion",
+    "estimate_tau",
+    "BlockRowView",
+    "COOMatrix",
+    "CSRMatrix",
+    "__version__",
+]

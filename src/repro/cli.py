@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the workflows a user of the reproduction needs:
+
+* ``repro suite``                      — list the test systems and their
+  published Table 1 data.
+* ``repro characterize <matrix>``      — Table 1 row for one system (or an
+  ``.mtx`` file: drop in the real UFMC matrices).
+* ``repro solve <matrix> [options]``   — run any solver on a suite system
+  or MatrixMarket file and print the convergence history.
+* ``repro experiment <id>``            — regenerate a paper artifact
+  (``repro experiment list`` shows the registry).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+#: Solvers selectable from the command line.
+SOLVER_CHOICES = (
+    "jacobi",
+    "gauss-seidel",
+    "sor",
+    "ssor",
+    "cg",
+    "gmres",
+    "block-jacobi",
+    "chebyshev",
+    "async",
+)
+
+
+def _load_matrix(spec: str):
+    """A suite name or a MatrixMarket path."""
+    from .matrices import SUITE_NAMES, get_matrix, read_matrix_market
+
+    if spec in SUITE_NAMES:
+        return get_matrix(spec)
+    return read_matrix_market(spec)
+
+
+def _build_solver(args):
+    from .core import BlockAsyncSolver
+    from .experiments.runner import paper_async_config
+    from .solvers import (
+        BlockJacobiSolver,
+        ChebyshevSolver,
+        ConjugateGradientSolver,
+        GaussSeidelSolver,
+        GMRESSolver,
+        JacobiSolver,
+        SORSolver,
+        SSORSolver,
+        StoppingCriterion,
+    )
+
+    stopping = StoppingCriterion(tol=args.tol, maxiter=args.maxiter)
+    name = args.solver
+    if name == "jacobi":
+        return JacobiSolver(omega=args.omega, stopping=stopping)
+    if name == "gauss-seidel":
+        return GaussSeidelSolver(stopping=stopping)
+    if name == "sor":
+        return SORSolver(omega=args.omega, stopping=stopping)
+    if name == "ssor":
+        return SSORSolver(omega=args.omega, stopping=stopping)
+    if name == "cg":
+        return ConjugateGradientSolver(stopping=stopping)
+    if name == "gmres":
+        return GMRESSolver(stopping=stopping)
+    if name == "block-jacobi":
+        return BlockJacobiSolver(block_size=args.block_size, stopping=stopping)
+    if name == "chebyshev":
+        return ChebyshevSolver(stopping=stopping)
+    cfg = paper_async_config(
+        args.local_iterations, block_size=args.block_size, seed=args.seed, omega=args.omega
+    )
+    return BlockAsyncSolver(cfg, stopping=stopping)
+
+
+def _cmd_suite(args) -> int:
+    from .experiments.report import ascii_table
+    from .matrices import PAPER_TABLE1
+
+    rows = [
+        [i.name, i.description, i.n, i.nnz, i.cond_a, i.rho, "yes" if i.jacobi_convergent else "NO"]
+        for i in PAPER_TABLE1.values()
+    ]
+    print(
+        ascii_table(
+            ["matrix", "problem", "n", "nnz", "cond(A) (paper)", "rho(B) (paper)", "Jacobi conv."],
+            rows,
+            title="Test suite (paper Table 1 values; generators reconstruct these)",
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .experiments.report import ascii_table
+    from .matrices import characterize
+
+    A = _load_matrix(args.matrix)
+    props = characterize(A, args.matrix, lanczos_steps=args.lanczos_steps)
+    rows = [
+        ["n", props.n],
+        ["nnz", props.nnz],
+        ["rho(B) (Jacobi)", props.rho_jacobi],
+        ["rho(|B|) (async, Strikwerda)", props.rho_abs],
+        ["cond(A)", props.cond_a],
+        ["cond(D^-1 A)", props.cond_scaled],
+        ["diagonally dominant rows", props.diag_dominant_fraction],
+    ] + [[f"off-block mass @ {bs}", frac] for bs, frac in props.off_block_fraction.items()]
+    print(ascii_table(["property", "value"], rows, title=f"characterize({args.matrix})"))
+    print()
+    print(
+        "Jacobi convergence guaranteed:", "yes" if props.converges_jacobi() else "no",
+        "| async convergence guaranteed:", "yes" if props.converges_async() else "no",
+    )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from .matrices import default_rhs
+
+    A = _load_matrix(args.matrix)
+    b = default_rhs(A, kind=args.rhs)
+    solver = _build_solver(args)
+    result = solver.solve(A, b)
+    rel = result.relative_residuals()
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.converged else 1
+    print(f"method:    {result.method}")
+    print(f"matrix:    {args.matrix}  (n={A.shape[0]}, nnz={A.nnz})")
+    print(f"converged: {result.converged} in {result.iterations} global iterations")
+    print(f"residual:  {result.final_residual:.3e}  (relative {rel[-1]:.3e})")
+    if args.history:
+        stride = max(1, len(rel) // 20)
+        for i in range(0, len(rel), stride):
+            print(f"  iter {i:5d}: {rel[i]:.6e}")
+    return 0 if result.converged else 1
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments import EXPERIMENTS, run_experiment
+
+    if args.id == "list":
+        seen = set()
+        for key, e in sorted(EXPERIMENTS.items()):
+            if e.id not in seen:
+                seen.add(e.id)
+                print(f"{e.id:6s} {e.title}")
+        return 0
+    if args.id == "all":
+        from pathlib import Path
+
+        outdir = Path(args.outdir) if args.outdir else Path("artifacts")
+        outdir.mkdir(parents=True, exist_ok=True)
+        seen = set()
+        for key in sorted(EXPERIMENTS):
+            e = EXPERIMENTS[key]
+            if e.id in seen:
+                continue
+            seen.add(e.id)
+            print(f"running {e.id}: {e.title} ...", flush=True)
+            result = e.runner(not args.full)
+            path = outdir / f"{e.id.replace('/', '_')}.txt"
+            path.write_text(result.render() + "\n")
+            if args.json:
+                (outdir / f"{e.id.replace('/', '_')}.json").write_text(result.to_json())
+        print(f"wrote {len(seen)} artifacts to {outdir}/")
+        return 0
+    result = run_experiment(args.id, quick=not args.full)
+    print(result.to_json() if args.json else result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Block-asynchronous relaxation methods (Anzt et al. 2012) — reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list the paper's test systems").set_defaults(func=_cmd_suite)
+
+    pc = sub.add_parser("characterize", help="Table 1 row for a matrix")
+    pc.add_argument("matrix", help="suite name or MatrixMarket file")
+    pc.add_argument("--lanczos-steps", type=int, default=150)
+    pc.set_defaults(func=_cmd_characterize)
+
+    ps = sub.add_parser("solve", help="run a solver on a matrix")
+    ps.add_argument("matrix", help="suite name or MatrixMarket file")
+    ps.add_argument("--solver", choices=SOLVER_CHOICES, default="async")
+    ps.add_argument("--local-iterations", type=int, default=5, help="k in async-(k)")
+    ps.add_argument("--block-size", type=int, default=448)
+    ps.add_argument("--omega", type=float, default=1.0, help="relaxation weight")
+    ps.add_argument("--tol", type=float, default=1e-10)
+    ps.add_argument("--maxiter", type=int, default=1000)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--rhs", choices=("ones", "random", "unit"), default="ones")
+    ps.add_argument("--history", action="store_true", help="print the residual history")
+    ps.add_argument("--json", action="store_true", help="emit a JSON summary")
+    ps.set_defaults(func=_cmd_solve)
+
+    pe = sub.add_parser("experiment", help="regenerate a paper artifact")
+    pe.add_argument("id", help="artifact id (T1..F11, X1..X5, A1..A5), 'list', or 'all'")
+    pe.add_argument("--outdir", default=None, help="output directory for 'all'")
+    pe.add_argument("--full", action="store_true", help="paper-scale parameters")
+    pe.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+    pe.set_defaults(func=_cmd_experiment)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

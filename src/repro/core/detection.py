@@ -1,0 +1,153 @@
+"""Silent-error detection from convergence anomalies (paper §4.5 outlook).
+
+The paper: *"for problems where convergence is expected, a convergence
+delay or non-converging sequence of solution approximations indicates that
+a silent error has occurred"*.  This module operationalises that sentence:
+
+:class:`SilentErrorDetector` watches a residual history online.  For a
+convergent relaxation method the log-residual falls along a (locally)
+straight line; the detector fits the recent contraction rate over a
+sliding window and raises an alert when
+
+* the residual **rises** (hard anomaly), or
+* the fitted rate **degrades** beyond a tolerance relative to the healthy
+  baseline rate learned during the warm-up phase (convergence-delay
+  anomaly — the silent-corruption signature), or
+* the residual **stagnates** above the expected floor.
+
+Detection is entirely observational — no access to the iterate or the
+failure mask — exactly the information an Exascale runtime would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["Alert", "SilentErrorDetector"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detection event."""
+
+    iteration: int
+    reason: str           #: "residual-rise" | "rate-degradation" | "stagnation"
+    observed_rate: float  #: fitted contraction over the window (per iteration)
+    baseline_rate: float  #: healthy reference rate
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"iteration {self.iteration}: {self.reason} "
+            f"(rate {self.observed_rate:.4f} vs baseline {self.baseline_rate:.4f})"
+        )
+
+
+class SilentErrorDetector:
+    """Online convergence-anomaly detector.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window length (iterations) for the rate fit.
+    warmup:
+        Iterations used to learn the healthy baseline rate (must be at
+        least *window*); no alerts are raised during warm-up.
+    rate_tolerance:
+        Allowed relative degradation of the contraction exponent before a
+        ``rate-degradation`` alert fires — e.g. 0.5 tolerates the rate
+        slowing to half the baseline's log-reduction per sweep.
+    floor:
+        Residuals at or below this are considered converged; stagnation
+        there is not anomalous (rounding floor).
+
+    Notes
+    -----
+    Rates are *log-residual slopes*: baseline −0.2 means the residual
+    shrinks by e^0.2 per iteration.  The asynchronous method's run-to-run
+    rate wobble (§4.1) is far inside ``rate_tolerance``, so the detector
+    stays quiet on healthy chaotic runs — verified by tests.
+    """
+
+    def __init__(
+        self,
+        window: int = 10,
+        warmup: int = 20,
+        rate_tolerance: float = 0.5,
+        floor: float = 1e-14,
+    ):
+        if window < 3:
+            raise ValueError("window must be at least 3")
+        if warmup < window:
+            raise ValueError("warmup must be >= window")
+        if not (0.0 < rate_tolerance < 1.0):
+            raise ValueError("rate_tolerance must be in (0, 1)")
+        self.window = window
+        self.warmup = warmup
+        self.rate_tolerance = rate_tolerance
+        self.floor = floor
+        self._log_history: List[float] = []
+        self._baseline: Optional[float] = None
+        self.alerts: List[Alert] = []
+
+    # ------------------------------------------------------------------ #
+
+    def _fit_rate(self) -> float:
+        """Least-squares slope of the last *window* log-residuals."""
+        ys = np.array(self._log_history[-self.window :])
+        xs = np.arange(len(ys), dtype=float)
+        return float(np.polyfit(xs, ys, 1)[0])
+
+    @property
+    def iteration(self) -> int:
+        """Number of residuals observed so far."""
+        return len(self._log_history)
+
+    @property
+    def baseline_rate(self) -> Optional[float]:
+        """The healthy contraction exponent learned during warm-up."""
+        return self._baseline
+
+    def update(self, residual: float) -> Optional[Alert]:
+        """Feed one residual; returns an :class:`Alert` if anomalous."""
+        if not np.isfinite(residual):
+            residual = 1e300
+        self._log_history.append(float(np.log(max(residual, 1e-300))))
+        it = self.iteration
+        if it < self.window + 1:
+            return None
+
+        rate = self._fit_rate()
+        if it <= self.warmup:
+            # Learn the healthiest (most negative) rate seen in warm-up.
+            if self._baseline is None or rate < self._baseline:
+                self._baseline = rate
+            return None
+
+        assert self._baseline is not None
+        if residual <= self.floor:
+            return None
+        alert = None
+        if self._log_history[-1] > self._log_history[-2] + 1e-12 and rate > 0:
+            alert = Alert(it, "residual-rise", rate, self._baseline)
+        elif self._baseline < 0 and rate > self._baseline * self.rate_tolerance:
+            reason = "stagnation" if abs(rate) < 1e-3 else "rate-degradation"
+            alert = Alert(it, reason, rate, self._baseline)
+        if alert is not None:
+            self.alerts.append(alert)
+        return alert
+
+    def scan(self, residuals) -> List[Alert]:
+        """Feed a whole history; returns all alerts raised."""
+        out = []
+        for r in residuals:
+            a = self.update(float(r))
+            if a is not None:
+                out.append(a)
+        return out
+
+    def first_alert(self) -> Optional[Alert]:
+        """The earliest alert, if any."""
+        return self.alerts[0] if self.alerts else None

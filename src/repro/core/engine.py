@@ -1,0 +1,199 @@
+"""The asynchronous execution engine.
+
+This is the software analogue of the paper's CUDA kernel (§3.3): the system
+is decomposed into row blocks (:class:`repro.sparse.BlockRowView`), and each
+global sweep executes every block once, in a scheduler-determined order,
+against the shared iterate ``x``:
+
+1. **Off-block gather** — the block computes
+   ``s = b_block − A_external · x_read`` where ``x_read`` is either the
+   sweep-start snapshot (that neighbour block is running *concurrently*;
+   probability given by the scheduler's effective staleness, derived from
+   device occupancy) or live memory (it already finished) — the shift
+   function of Eq. (3)/(4), realised stochastically.
+2. **Local iterations** — *k* Jacobi sweeps on the block's subdomain with
+   the off-block part frozen (Algorithm 1's inner loop); reads and writes
+   touch only the block's own rows.
+3. **Write visibility** — results are published immediately, or (with the
+   configured probability) deferred to the sweep end, modelling write-buffer
+   latency.
+
+With the ``"synchronous"`` order (staleness forced to 1) and ``k = 1``, one
+sweep is *exactly* one synchronous Jacobi iteration — the engine degrades
+gracefully to the textbook method, which the test suite exploits as an
+oracle.
+
+Fault injection (§4.5) freezes a set of rows: the affected components are
+never recomputed while the failure is active — including inside local
+iterations, where their neighbours keep reading the stale values — exactly
+the "broken core" semantics of the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._util import as_rng, check_vector
+from ..sparse import BlockRowView
+from .fault import FaultScenario
+from .schedules import AsyncConfig, WaveScheduler
+
+__all__ = ["AsyncEngine"]
+
+
+class AsyncEngine:
+    """Executes block-asynchronous sweeps over a shared iterate.
+
+    Parameters
+    ----------
+    view:
+        Precomputed block decomposition of the system matrix.
+    b:
+        Right-hand side.
+    config:
+        Asynchronism configuration (ordering, staleness, local iterations).
+    fault:
+        Optional failure scenario.
+    rng:
+        Override generator; defaults to a fresh one from ``config.seed``.
+
+    Attributes
+    ----------
+    update_counts:
+        Per-block count of completed block updates — the data behind the
+        Chazan–Miranker condition (1) check.
+    sweep_index:
+        Number of completed global sweeps.
+    """
+
+    def __init__(
+        self,
+        view: BlockRowView,
+        b: np.ndarray,
+        config: AsyncConfig,
+        *,
+        fault: Optional[FaultScenario] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.view = view
+        self.b = check_vector(b, view.n, "b")
+        self.config = config
+        self.fault = fault
+        self.rng = rng if rng is not None else as_rng(config.seed)
+        self.scheduler = WaveScheduler(view.nblocks, config, self.rng)
+        self.update_counts = np.zeros(view.nblocks, dtype=np.int64)
+        self.sweep_index = 0
+        # Per-block right-hand-side slices (b never changes) and per-entry
+        # row indices of the external parts (for per-entry race mixing).
+        self._b_blocks = [self.b[blk.rows] for blk in view.blocks]
+        self._ext_rows = [blk.external._expanded_rows() for blk in view.blocks]
+        # Fault support: per-block local indices of frozen rows, rebuilt
+        # whenever the active frozen mask changes.
+        self._frozen_mask: Optional[np.ndarray] = None
+        self._frozen_local: List[np.ndarray] = []
+        # Healed components: reassigned to healthy cores (self-healing
+        # recovery, repro.core.recovery) — exempt from any future fault.
+        self._healed = np.zeros(view.n, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+
+    def heal_rows(self, rows: np.ndarray) -> None:
+        """Permanently exempt *rows* from the fault (reassignment)."""
+        self._healed[np.asarray(rows, dtype=np.int64)] = True
+
+    def _refresh_fault_state(self) -> None:
+        mask = self.fault.frozen_rows(self.sweep_index, self.view.n) if self.fault else None
+        if mask is not None and self._healed.any():
+            mask = mask & ~self._healed
+        prev = self._frozen_mask
+        if (mask is None) != (prev is None) or (
+            mask is not None and prev is not None and not np.array_equal(mask, prev)
+        ):
+            self._frozen_mask = mask
+            if mask is None:
+                self._frozen_local = []
+            else:
+                self._frozen_local = [
+                    np.flatnonzero(mask[blk.rows]) for blk in self.view.blocks
+                ]
+
+    def sweep(self, x: np.ndarray) -> np.ndarray:
+        """One global iteration: every block updated once, in schedule order.
+
+        Each off-block component a block reads is, independently with the
+        scheduler's freshness fraction γ, a value written earlier in this
+        same sweep ("that neighbour finished before my read") and otherwise
+        the sweep-start snapshot ("it ran concurrently with me").  γ = 0
+        everywhere makes the sweep a synchronous block-Jacobi step; γ = 1 a
+        block Gauss-Seidel sweep in schedule order; the GPU reality is in
+        between.
+        """
+        cfg = self.config
+        rng = self.rng
+        view = self.view
+        self._refresh_fault_state()
+        frozen = self._frozen_local if self._frozen_mask is not None else None
+
+        order, gamma = self.scheduler.plan_for_sweep(self.sweep_index, rng)
+        snapshot = x if np.all(gamma >= 1.0) else x.copy()
+        deferred: List[Tuple[slice, np.ndarray]] = []
+
+        for pos, bid in enumerate(order):
+            blk = view.blocks[bid]
+            rows = blk.rows
+            g = gamma[pos]
+            if g <= 0.0:
+                ext = blk.external.matvec(snapshot)
+            elif g >= 1.0:
+                ext = blk.external.matvec(x)
+            else:
+                # Per-entry races: each off-block component is, with
+                # probability γ, read after its owner's write from this
+                # sweep landed.  Systems with many small off-block
+                # couplings self-average (fv1's variation is tiny); systems
+                # with a few heavy ones do not (Trefethen's is not) — the
+                # §4.1 contrast emerges from the matrix, not from a knob.
+                ext = blk.external.matvec(snapshot)
+                e = blk.external
+                fresh = rng.random(len(e.data)) < g
+                if fresh.any():
+                    cols = e.indices[fresh]
+                    delta = e.data[fresh] * (x[cols] - snapshot[cols])
+                    np.add.at(ext, self._ext_rows[bid][fresh], delta)
+            s = self._b_blocks[bid] - ext
+
+            frozen_local = frozen[bid] if frozen is not None else None
+            defer = cfg.deferred_write_prob > 0.0 and rng.random() < cfg.deferred_write_prob
+            saved = x[rows].copy() if defer else None
+            for _ in range(cfg.local_iterations):
+                old_local = x[rows]
+                new_local = (s - blk.local_off.matvec(x)) / blk.diag
+                if cfg.omega != 1.0:
+                    new_local = (1.0 - cfg.omega) * old_local + cfg.omega * new_local
+                if frozen_local is not None and len(frozen_local):
+                    if self.fault is not None and self.fault.kind == "silent":
+                        # Silent errors (§4.5 outlook): the core computes,
+                        # but wrongly — every update is slightly off.
+                        new_local[frozen_local] *= self.fault.corruption
+                    else:
+                        # Broken cores never compute: their components keep
+                        # the stale value through every local sweep.
+                        new_local[frozen_local] = old_local[frozen_local]
+                x[rows] = new_local
+            if defer:
+                deferred.append((rows, x[rows].copy()))
+                x[rows] = saved
+            self.update_counts[bid] += 1
+
+        for rows, vals in deferred:
+            x[rows] = vals
+        self.sweep_index += 1
+        return x
+
+    # ------------------------------------------------------------------ #
+
+    def min_updates(self) -> int:
+        """Fewest updates any block has received (condition (1) diagnostics)."""
+        return int(self.update_counts.min()) if len(self.update_counts) else 0

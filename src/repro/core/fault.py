@@ -1,0 +1,119 @@
+"""Hardware-failure scenarios (paper §4.5).
+
+The paper's experiment: while block-asynchronous iteration runs on a
+many-core system, at global iteration ``t₀`` a fraction of the cores breaks
+down — the components they handle are simply no longer updated.  Either the
+runtime detects the failure and reassigns the components after a recovery
+time ``t_r`` (``recover-(t_r)`` in the figures), or it never does, in which
+case the iteration stagnates at a solution approximation with significant
+residual error.
+
+:class:`FaultScenario` expresses this as a frozen-row mask as a function of
+the sweep index; the :class:`repro.core.engine.AsyncEngine` applies it with
+broken-core semantics (frozen components never recompute, their neighbours
+keep consuming the stale values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._util import RNGLike, as_rng
+
+__all__ = ["FaultScenario"]
+
+
+#: Supported failure semantics.
+FAULT_KINDS = ("freeze", "silent")
+
+
+@dataclass
+class FaultScenario:
+    """Failure of a random fraction of components.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of components (rows) affected — the paper simulates 25%.
+    t0:
+        Global sweep index at which the failure occurs (paper: ≈ 10).
+    recovery:
+        Number of sweeps after which the components are reassigned to
+        healthy cores (``recover-(t_r)``); ``None`` means no recovery.
+    kind:
+        ``"freeze"`` — detectable hard failure: the components stop
+        updating entirely (the paper's main experiment).
+        ``"silent"`` — the §4.5 outlook: the broken cores *keep computing
+        but compute wrongly*; every update of an affected component is
+        scaled by *corruption*.  Nothing crashes — the only symptom is the
+        convergence anomaly a :class:`repro.core.detection.SilentErrorDetector`
+        watches for.
+    corruption:
+        Multiplicative error of silent updates (ignored for freeze).
+    clustered:
+        ``False`` (paper's experiment): the failed components are chosen
+        uniformly at random.  ``True``: one contiguous span fails — the
+        physical picture of a broken core taking out exactly the
+        components it handled, and the scenario
+        :class:`repro.core.localize.FaultLocalizer` can pinpoint.
+    seed:
+        Seed selecting *which* components fail.
+    """
+
+    fraction: float = 0.25
+    t0: int = 10
+    recovery: Optional[int] = None
+    kind: str = "freeze"
+    corruption: float = 1.01
+    clustered: bool = False
+    seed: RNGLike = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        if self.t0 < 0:
+            raise ValueError("t0 must be non-negative")
+        if self.recovery is not None and self.recovery < 0:
+            raise ValueError("recovery must be non-negative")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.corruption <= 0:
+            raise ValueError("corruption must be positive")
+        self._mask_cache: Optional[np.ndarray] = None
+
+    @property
+    def label(self) -> str:
+        """Figure-style label (``recover-(20)`` / ``no recovery``)."""
+        base = f"recover-({self.recovery})" if self.recovery is not None else "no recovery"
+        return base if self.kind == "freeze" else f"silent, {base}"
+
+    def failed_components(self, n: int) -> np.ndarray:
+        """The (fixed, seed-determined) boolean mask of failed components."""
+        if self._mask_cache is None or len(self._mask_cache) != n:
+            rng = as_rng(self.seed)
+            count = int(round(self.fraction * n))
+            mask = np.zeros(n, dtype=bool)
+            if self.clustered and count:
+                start = int(rng.integers(0, max(1, n - count + 1)))
+                mask[start : start + count] = True
+            elif count:
+                mask[rng.choice(n, size=count, replace=False)] = True
+            self._mask_cache = mask
+        return self._mask_cache
+
+    def is_active(self, sweep: int) -> bool:
+        """Whether the failure is in effect at the given sweep."""
+        if sweep < self.t0:
+            return False
+        if self.recovery is None:
+            return True
+        return sweep < self.t0 + self.recovery
+
+    def frozen_rows(self, sweep: int, n: int) -> Optional[np.ndarray]:
+        """Frozen-row mask at *sweep* (``None`` when no failure is active)."""
+        if not self.is_active(sweep):
+            return None
+        return self.failed_components(n)

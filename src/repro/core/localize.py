@@ -1,0 +1,105 @@
+"""Fault localization from per-block residuals.
+
+§4.5's recovery story assumes "the operating system detects the hardware
+failure and may reconfigure the algorithm during runtime by assigning the
+respective components to other cores".  Detection-in-time is handled by
+:class:`repro.core.detection.SilentErrorDetector`; this module answers the
+*where*: which blocks' components should be reassigned?
+
+The signal is the block-local residual.  For a healthy convergent run all
+block residuals shrink together; a block whose components are frozen or
+silently corrupted keeps a stubbornly high residual — and so do its
+neighbours, but at one coupling-factor less.  Ranking blocks by their
+share of the global residual (optionally normalised by a healthy-phase
+baseline) localizes the failure to block granularity, which is exactly
+the granularity at which the runtime can reassign work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .._util import check_vector
+from ..sparse import BlockRowView
+
+__all__ = ["BlockResidualProfile", "FaultLocalizer"]
+
+
+@dataclass
+class BlockResidualProfile:
+    """Per-block residual norms of one iterate."""
+
+    norms: np.ndarray      #: l2 residual norm per block
+    boundaries: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """Global residual norm implied by the blocks."""
+        return float(np.sqrt(np.sum(self.norms**2)))
+
+    def shares(self) -> np.ndarray:
+        """Each block's fraction of the squared global residual."""
+        t2 = float(np.sum(self.norms**2))
+        if t2 == 0.0:
+            return np.zeros_like(self.norms)
+        return self.norms**2 / t2
+
+    def ranked(self) -> np.ndarray:
+        """Block indices, most suspicious (largest residual) first."""
+        return np.argsort(self.norms)[::-1]
+
+
+class FaultLocalizer:
+    """Ranks blocks by anomalous residual contribution.
+
+    Parameters
+    ----------
+    view:
+        The block decomposition the solver runs on.
+    b:
+        Right-hand side.
+
+    Usage: take a :meth:`snapshot` during the healthy phase (e.g. when the
+    detector's warm-up ends), then after an alert call :meth:`suspects`
+    with the current iterate — blocks whose residual share grew the most
+    against the baseline come first.  Without a baseline, raw residual
+    shares are used (adequate once the healthy parts have converged away).
+    """
+
+    def __init__(self, view: BlockRowView, b: np.ndarray):
+        self.view = view
+        self.b = check_vector(b, view.n, "b")
+        self._baseline: Optional[np.ndarray] = None
+
+    def profile(self, x: np.ndarray) -> BlockResidualProfile:
+        """Per-block residual norms of *x*."""
+        x = check_vector(x, self.view.n, "x")
+        r = self.view.matrix.residual(x, self.b)
+        norms = np.array(
+            [float(np.linalg.norm(r[blk.rows])) for blk in self.view.blocks]
+        )
+        return BlockResidualProfile(norms=norms, boundaries=self.view.boundaries.copy())
+
+    def snapshot(self, x: np.ndarray) -> None:
+        """Record the healthy-phase residual *shares* as the baseline."""
+        self._baseline = self.profile(x).shares()
+
+    def suspects(self, x: np.ndarray, *, top: int = 3) -> List[int]:
+        """The *top* most anomalous block indices for iterate *x*.
+
+        With a baseline: ranked by share growth (share − baseline share);
+        without: ranked by share.
+        """
+        if top < 1:
+            raise ValueError("top must be >= 1")
+        shares = self.profile(x).shares()
+        score = shares - self._baseline if self._baseline is not None else shares
+        order = np.argsort(score)[::-1]
+        return [int(i) for i in order[:top]]
+
+    def suspect_components(self, x: np.ndarray, *, top: int = 3) -> np.ndarray:
+        """Row indices covered by the suspect blocks (reassignment set)."""
+        return self.view.rows_of(self.suspects(x, top=top))

@@ -1,0 +1,27 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every artifact of the paper's evaluation section has a module here whose
+``run(quick=...)`` regenerates it — the same rows and series the paper
+reports, printed as ASCII tables (series included as sampled checkpoints).
+The registry maps paper artifact ids (``"T1"`` … ``"F11"``, plus ``"X1"`` …
+``"X3"`` for the §5-outlook extensions) to their runners; the
+``benchmarks/`` tree drives these under pytest-benchmark, and
+``EXPERIMENTS.md`` records paper-vs-measured for each id.
+
+Quick vs full: ``run(quick=True)`` (the default everywhere) sizes ensembles
+and iteration budgets for seconds-scale runs; ``quick=False`` matches the
+paper's scales (1000-run ensembles, 25k-iteration fv3 histories).  The
+benchmarks honour the ``REPRO_FULL=1`` environment variable.
+"""
+
+from .report import ExperimentResult, TableArtifact, ascii_table
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "TableArtifact",
+    "ascii_table",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,115 @@
+"""F10/T6 — fault tolerance of block-asynchronous iteration (§4.5).
+
+The scenario: 25 % of the cores break down at global iteration t₀ ≈ 10.
+Implementations either detect and reassign the affected components after a
+recovery time t_r ∈ {10, 20, 30} sweeps, or never do.
+
+Shapes to reproduce:
+
+* with recovery, convergence resumes and reaches the no-failure solution,
+  delayed by a problem-specific amount (Table 6: ~8-32 % extra time);
+* without recovery, the residual stagnates at a significant level and
+  further iterations of the surviving components do not help.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core import BlockAsyncSolver, FaultScenario
+from ..gpu.timing import IterationCostModel
+from ..matrices import default_rhs, get_matrix
+from ..solvers import StoppingCriterion
+from .report import ExperimentResult, TableArtifact, series_table
+from .runner import iterations_to_tolerance, pad_history, paper_async_config
+
+__all__ = ["run"]
+
+_CASES = {"fv1": 100, "Trefethen_2000": 50}
+_RECOVERIES = (10, 20, 30, None)
+_T0 = 10
+_FRACTION = 0.25
+
+#: Paper Table 6: extra time (%) to reach the solution approximation.
+PAPER_TABLE6 = {
+    "fv1": {10: 8.16, 20: 19.50, 30: 31.66},
+    "Trefethen_2000": {10: 8.16, 20: 11.45, 30: 16.61},
+}
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the §4.5 scenarios on fv1 and Trefethen_2000."""
+    model = IterationCostModel()
+    tables = []
+    series = {}
+    t6_rows = []
+    for name, iters in _CASES.items():
+        A = get_matrix(name)
+        b = default_rhs(A)
+        stopping = StoppingCriterion(tol=0.0, maxiter=iters)
+        panel: Dict[str, np.ndarray] = {}
+
+        baseline = BlockAsyncSolver(paper_async_config(5, seed=1), stopping=stopping).solve(A, b)
+        base_rel = pad_history(baseline.relative_residuals(), iters + 1)
+        panel["no failure"] = base_rel
+        target = max(base_rel[-1] * 10.0, 1e-13)
+        it_base = iterations_to_tolerance(baseline, target)
+
+        t6_row = [name]
+        for rec in _RECOVERIES:
+            fault = FaultScenario(fraction=_FRACTION, t0=_T0, recovery=rec, seed=7)
+            solver = BlockAsyncSolver(paper_async_config(5, seed=1), fault=fault, stopping=stopping)
+            # With recovery the run needs extra room to reach the target.
+            solver.stopping = StoppingCriterion(tol=0.0, maxiter=iters + (rec or 0) + 30)
+            result = solver.solve(A, b)
+            rel = result.relative_residuals()
+            panel[fault.label] = pad_history(rel, iters + 1)
+            if rec is not None and it_base is not None:
+                it_fault = iterations_to_tolerance(result, target)
+                if it_fault is not None:
+                    per = model.per_iteration("async", name, local_iterations=5)
+                    extra_pct = 100.0 * (it_fault - it_base) / it_base
+                    t6_row.append(extra_pct)
+                else:
+                    t6_row.append(None)
+            elif rec is None:
+                stagnation = float(rel[-1])
+        t6_row.append(stagnation)
+        t6_rows.append(t6_row)
+
+        x = np.arange(iters + 1, dtype=float)
+        series[f"fig10_{name}"] = dict(panel, x=x)
+        tables.append(
+            series_table(
+                f"Figure 10 ({name}): relative residual under 25% core failure at t0={_T0}",
+                x,
+                panel,
+            )
+        )
+
+    paper_rows = [
+        [name] + [PAPER_TABLE6[name][r] for r in (10, 20, 30)] for name in _CASES
+    ]
+    tables.insert(
+        0,
+        TableArtifact(
+            title="Table 6: extra computation (%) to reach the solution (measured | paper below)",
+            headers=["matrix", "recover-(10)", "recover-(20)", "recover-(30)", "no-recovery stagnation"],
+            rows=t6_rows,
+        ),
+    )
+    tables.insert(
+        1,
+        TableArtifact(
+            title="Table 6 (paper)",
+            headers=["matrix", "recover-(10)", "recover-(20)", "recover-(30)"],
+            rows=paper_rows,
+        ),
+    )
+    notes = [
+        "Expected: recovery restores convergence with delay growing in t_r; "
+        "no recovery leaves the residual stagnated far from the solution.",
+    ]
+    return ExperimentResult("F10/T6", "Fault tolerance", tables, series, notes)

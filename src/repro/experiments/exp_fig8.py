@@ -1,0 +1,59 @@
+"""F8 — Figure 8: average time per iteration versus total iteration count.
+
+The GPU methods pay a one-off setup (context, allocation, initial
+transfers), so their *average* per-iteration time decays like
+``T_setup / N + t_iter`` toward the asymptotic kernel time, while the CPU
+Gauss-Seidel average is flat.  Reproduced from the calibrated timing model
+for fv3, the paper's example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.timing import IterationCostModel, SetupCostModel
+from ..matrices import PAPER_TABLE1
+from .report import ExperimentResult, series_table
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Generate the Figure 8 series for fv3."""
+    model = IterationCostModel()
+    setup = SetupCostModel()
+    info = PAPER_TABLE1["fv3"]
+    counts = np.arange(5, 201, 5)
+    gs = np.full(len(counts), model.per_iteration("gauss-seidel", "fv3"))
+    jac = np.array(
+        [
+            model.average_iteration_time("jacobi", "fv3", int(n), setup=setup)
+            for n in counts
+        ]
+    )
+    asy = np.array(
+        [
+            model.average_iteration_time("async", "fv3", int(n), local_iterations=1, setup=setup)
+            for n in counts
+        ]
+    )
+    series = {
+        "fig8_fv3": {
+            "x": counts.astype(float),
+            "Gauss-Seidel (CPU)": gs,
+            "Jacobi (GPU)": jac,
+            "async-(1) (GPU)": asy,
+        }
+    }
+    table = series_table(
+        "Figure 8 (fv3): average seconds per iteration vs total iterations",
+        counts.astype(float),
+        {k: v for k, v in series["fig8_fv3"].items() if k != "x"},
+        x_label="total iterations",
+    )
+    notes = [
+        f"setup overhead {setup.setup_time(info.n, info.nnz):.3f}s (Table 4 intercept "
+        "+ PCIe transfer); GPU curves decay ~1/N toward the kernel time while "
+        "the CPU curve is flat — the paper's Figure 8 shape.",
+    ]
+    return ExperimentResult("F8", "Average iteration time vs total iterations", [table], series, notes)

@@ -1,0 +1,66 @@
+"""T1 — Table 1: characteristics of the test matrices.
+
+Regenerates the paper's Table 1 (n, nnz, cond(A), cond(D⁻¹A), ρ(M)) from
+the reconstruction generators, side by side with the published values, and
+adds the ρ(|B|) column the asynchronous convergence theory (§2.2) actually
+depends on.
+"""
+
+from __future__ import annotations
+
+from ..matrices import PAPER_TABLE1, SUITE_NAMES, characterize, get_matrix
+from .report import ExperimentResult, TableArtifact
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Characterize every suite matrix and tabulate paper vs measured."""
+    lanczos_steps = 150 if quick else 400
+    rows = []
+    for name in SUITE_NAMES:
+        info = PAPER_TABLE1[name]
+        A = get_matrix(name)
+        props = characterize(A, name, lanczos_steps=lanczos_steps, block_sizes=(128,))
+        rows.append(
+            [
+                name,
+                props.n,
+                props.nnz,
+                info.cond_a,
+                props.cond_a,
+                info.cond_scaled,
+                props.cond_scaled,
+                info.rho,
+                props.rho_jacobi,
+                props.rho_abs,
+            ]
+        )
+    table = TableArtifact(
+        title="Table 1: test-matrix characteristics (paper | measured on reconstructions)",
+        headers=[
+            "matrix",
+            "n",
+            "nnz",
+            "cond(A) paper",
+            "cond(A) meas",
+            "cond(D^-1A) paper",
+            "cond(D^-1A) meas",
+            "rho(B) paper",
+            "rho(B) meas",
+            "rho(|B|) meas",
+        ],
+        rows=rows,
+    )
+    notes = [
+        "Trefethen matrices are exact reconstructions (published definition); "
+        "their nnz and rho match the paper to print precision.",
+        "fv* are 9-point stencils (the paper's nnz counts identify the grids "
+        "exactly); the reaction shift places rho(B) analytically, the smooth "
+        "coefficient field matches cond(A)'s order of magnitude.",
+        "Chem97ZtZ's published cond(D^-1A)=7.2e3 is inconsistent with its "
+        "rho(M)=0.7889 for an SPD matrix (the spectrum of D^-1A would lie in "
+        "[0.21, 1.79], bounding the condition number by ~8.5); the surrogate "
+        "matches rho exactly and reports the consistent conditioning.",
+    ]
+    return ExperimentResult("T1", "Test-matrix characteristics", [table], {}, notes)

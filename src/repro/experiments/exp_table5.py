@@ -1,0 +1,75 @@
+"""T5 — Table 5: average per-iteration timings.
+
+The modelled per-global-iteration times for Gauss-Seidel (CPU), Jacobi
+(GPU) and async-(5) (GPU) on every suite matrix — the model is calibrated
+*to* the paper's Table 5, so the model column reproduces it by construction
+and the interesting content is (a) the async-(5)-vs-Jacobi and GS-vs-GPU
+ratios the later figures rely on, and (b) this implementation's *measured*
+per-iteration times, whose ratios should show the same ordering.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core import BlockAsyncSolver
+from ..gpu.timing import IterationCostModel, PAPER_TABLE5
+from ..matrices import default_rhs, get_matrix
+from ..solvers import GaussSeidelSolver, JacobiSolver, StoppingCriterion
+from .report import ExperimentResult, TableArtifact
+from .runner import paper_async_config
+
+__all__ = ["run"]
+
+
+def _measure(solver, A, b, iters: int) -> float:
+    solver.stopping = StoppingCriterion(tol=0.0, maxiter=iters)
+    t0 = time.perf_counter()
+    solver.solve(A, b)
+    return (time.perf_counter() - t0) / iters
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Tabulate modelled (= paper) and measured per-iteration times."""
+    model = IterationCostModel()
+    rows = []
+    for name, paper in PAPER_TABLE5.items():
+        rows.append(
+            [
+                name,
+                model.per_iteration("gauss-seidel", name),
+                model.per_iteration("jacobi", name),
+                model.per_iteration("async", name, local_iterations=5),
+                paper.gs_cpu / paper.async5_gpu,
+                paper.jacobi_gpu / paper.async5_gpu,
+            ]
+        )
+    model_table = TableArtifact(
+        title="Table 5 (modelled = paper calibration): seconds per global iteration",
+        headers=["matrix", "G.-S. (CPU)", "Jacobi (GPU)", "async-(5) (GPU)", "GS/async", "Jacobi/async"],
+        rows=rows,
+    )
+
+    iters = 10 if quick else 50
+    meas_rows = []
+    names = ["Chem97ZtZ", "fv1", "Trefethen_2000"] if quick else list(PAPER_TABLE5)
+    for name in names:
+        A = get_matrix(name)
+        b = default_rhs(A)
+        t_gs = _measure(GaussSeidelSolver(), A, b, iters)
+        t_j = _measure(JacobiSolver(), A, b, iters)
+        t_a = _measure(BlockAsyncSolver(paper_async_config(5)), A, b, iters)
+        meas_rows.append([name, t_gs, t_j, t_a, t_gs / t_a, t_j / t_a])
+    meas_table = TableArtifact(
+        title="This implementation: measured seconds per global iteration (Python, incl. residual recording)",
+        headers=["matrix", "gauss-seidel", "jacobi", "async-(5)", "GS/async", "Jacobi/async"],
+        rows=meas_rows,
+    )
+    notes = [
+        "Paper ratios to reproduce: Gauss-Seidel 5-10x slower than async-(5); "
+        "Jacobi 1.1-1.6x slower than async-(5) despite async doing 5 local sweeps.",
+        "The measured Python ratios differ (no GPU, level-scheduled GS is "
+        "vectorized here), but async-(5) cost per global iteration stays "
+        "within a small factor of Jacobi's — the shape behind Figs. 8/9.",
+    ]
+    return ExperimentResult("T5", "Average iteration timings", [model_table, meas_table], {}, notes)

@@ -1,0 +1,161 @@
+"""Artifact rendering: ASCII tables and residual-series checkpoints.
+
+Everything an experiment produces is carried by :class:`ExperimentResult`,
+which renders to plain text the way the paper's tables read — one table per
+artifact, scientific notation for residual-scale quantities, and series
+(figure data) sampled at named checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+__all__ = ["format_value", "ascii_table", "TableArtifact", "ExperimentResult", "series_table"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(v: Cell) -> str:
+    """Render one table cell: ints plainly, floats adaptively."""
+    if v is None:
+        return "-"
+    if isinstance(v, str):
+        return v
+    if isinstance(v, (bool, np.bool_)):
+        return str(bool(v))
+    if isinstance(v, (int, np.integer)):
+        return str(int(v))
+    x = float(v)
+    if not np.isfinite(x):
+        return "inf" if x > 0 else ("-inf" if x < 0 else "nan")
+    if x == 0.0:
+        return "0"
+    ax = abs(x)
+    if 1e-3 <= ax < 1e5:
+        # Fixed-point with enough digits to distinguish timings/ratios.
+        return f"{x:.4g}"
+    return f"{x:.4e}"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = "") -> str:
+    """Aligned monospace table with a separator under the header."""
+    cells = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for j, c in enumerate(row):
+            widths[j] = max(widths[j], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class TableArtifact:
+    """One rendered table of an experiment."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]]
+
+    def render(self) -> str:
+        return ascii_table(self.headers, self.rows, title=self.title)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artifact id (``"T1"``, ``"F9"``, ``"X2"``, ...).
+    title:
+        Human-readable description.
+    tables:
+        Rendered-table artifacts, in report order.
+    series:
+        Figure data: ``series[figure][label] = 1-D array`` (plus an ``"x"``
+        entry when the abscissa is not the iteration index).
+    notes:
+        Free-form observations recorded with the run (paper-vs-measured
+        commentary, parameters used).
+    """
+
+    experiment_id: str
+    title: str
+    tables: List[TableArtifact] = field(default_factory=list)
+    series: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        for t in self.tables:
+            parts.append(t.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (tables, series and notes)."""
+
+        def clean(v):
+            if isinstance(v, (np.floating, np.integer)):
+                return v.item()
+            return v
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "tables": [
+                {
+                    "title": t.title,
+                    "headers": list(t.headers),
+                    "rows": [[clean(c) for c in row] for row in t.rows],
+                }
+                for t in self.tables
+            ],
+            "series": {
+                name: {label: np.asarray(y).tolist() for label, y in ys.items()}
+                for name, ys in self.series.items()
+            },
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """Render as a JSON document (kwargs forwarded to json.dumps)."""
+        import json
+
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def series_table(
+    title: str,
+    x: np.ndarray,
+    ys: Dict[str, np.ndarray],
+    *,
+    x_label: str = "iteration",
+    max_points: int = 16,
+) -> TableArtifact:
+    """Tabulate figure series at evenly sampled checkpoints."""
+    x = np.asarray(x)
+    n = len(x)
+    if n == 0:
+        raise ValueError("empty series")
+    for label, y in ys.items():
+        if len(y) != n:
+            raise ValueError(f"series {label!r} length {len(y)} != x length {n}")
+    idx = np.unique(np.linspace(0, n - 1, min(max_points, n)).round().astype(int))
+    headers = [x_label] + list(ys)
+    rows = [[x[i]] + [ys[l][i] for l in ys] for i in idx]
+    return TableArtifact(title=title, headers=headers, rows=rows)

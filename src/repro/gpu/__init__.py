@@ -1,0 +1,46 @@
+"""Simulated GPU substrate.
+
+The paper's experiments ran on a Supermicro host with two Intel Xeon E5540
+CPUs and four NVIDIA Fermi C2070 GPUs.  None of that hardware is available
+here; what the algorithms actually depend on is
+
+1. the *scheduling behaviour* (which blocks execute concurrently, in what
+   recurring order) — modelled by :class:`repro.core.schedules.WaveScheduler`
+   parameterised from a :class:`DeviceSpec`'s occupancy;
+2. the *relative cost* of kernels, local iterations, synchronisation and
+   transfers — modelled by :mod:`repro.gpu.timing`, calibrated against the
+   paper's own measurements (its Tables 4/5 and Figure 8);
+3. the *interconnect contention* between devices — modelled by the
+   discrete-event simulator in :mod:`repro.gpu.streams` over the topology in
+   :mod:`repro.gpu.cluster`, with the three §3.4 communication strategies in
+   :mod:`repro.gpu.multigpu`.
+"""
+
+from .device import DeviceSpec, FERMI_C2070, XEON_E5540, occupancy
+from .memory import Link, transfer_time, PCIE_GEN2_X16, QPI
+from .streams import Resource, Task, EventSimulator
+from .timing import IterationCostModel, SetupCostModel, PAPER_TABLE5, PAPER_TABLE4_FV3
+from .cluster import GPUClusterSpec, SUPERMICRO_4GPU
+from .multigpu import MultiGPUModel, STRATEGIES
+
+__all__ = [
+    "DeviceSpec",
+    "FERMI_C2070",
+    "XEON_E5540",
+    "occupancy",
+    "Link",
+    "transfer_time",
+    "PCIE_GEN2_X16",
+    "QPI",
+    "Resource",
+    "Task",
+    "EventSimulator",
+    "IterationCostModel",
+    "SetupCostModel",
+    "PAPER_TABLE5",
+    "PAPER_TABLE4_FV3",
+    "GPUClusterSpec",
+    "SUPERMICRO_4GPU",
+    "MultiGPUModel",
+    "STRATEGIES",
+]

@@ -1,0 +1,79 @@
+"""Multi-GPU system topology.
+
+The paper's host (§3.2, [35]) is a Supermicro X8DTG-QF: two Xeon E5540
+sockets connected by QPI, with two Fermi C2070 GPUs attached to each
+socket's PCIe root.  Two topology facts drive all of §4.6's results:
+
+* each GPU has its *own* PCIe link (AMC can use them in parallel);
+* traffic between a GPU and memory attached to the *other* socket crosses
+  the shared QPI link; and CUDA 4.0's GPU-direct P2P only works between
+  GPUs on the same socket ("CUDA's GPU-GPU communication is only supported
+  for GPUs connected to the same CPU").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .device import DeviceSpec, FERMI_C2070
+from .memory import Link, PCIE_GEN2_X16, QPI
+
+__all__ = ["GPUClusterSpec", "SUPERMICRO_4GPU"]
+
+
+@dataclass(frozen=True)
+class GPUClusterSpec:
+    """A host with several GPUs distributed over CPU sockets.
+
+    Attributes
+    ----------
+    device:
+        GPU model (all GPUs identical).
+    gpus_per_socket:
+        PCIe attachment layout, e.g. ``(2, 2)``.
+    pcie:
+        The per-GPU PCIe link spec.
+    qpi:
+        The inter-socket link spec (shared by all cross-socket traffic).
+    host_socket:
+        Socket whose memory controller owns the pinned host buffers.
+    """
+
+    device: DeviceSpec = FERMI_C2070
+    gpus_per_socket: Tuple[int, ...] = (2, 2)
+    pcie: Link = PCIE_GEN2_X16
+    qpi: Link = QPI
+    host_socket: int = 0
+
+    @property
+    def ngpus(self) -> int:
+        """Total GPU count."""
+        return sum(self.gpus_per_socket)
+
+    def socket_of(self, gpu: int) -> int:
+        """Socket index a GPU is attached to."""
+        if not (0 <= gpu < self.ngpus):
+            raise ValueError(f"gpu index {gpu} out of range")
+        acc = 0
+        for s, count in enumerate(self.gpus_per_socket):
+            acc += count
+            if gpu < acc:
+                return s
+        raise AssertionError("unreachable")
+
+    def crosses_qpi_to_host(self, gpu: int) -> bool:
+        """Whether host<->GPU traffic for this GPU crosses the QPI."""
+        return self.socket_of(gpu) != self.host_socket
+
+    def peer_possible(self, gpu_a: int, gpu_b: int) -> bool:
+        """Whether CUDA-4.0 GPU-direct P2P works between two GPUs.
+
+        Only same-socket pairs are supported (the restriction §4.6 hits
+        when scaling past two GPUs).
+        """
+        return self.socket_of(gpu_a) == self.socket_of(gpu_b)
+
+
+#: The paper's host: 2 sockets x 2 C2070s.
+SUPERMICRO_4GPU = GPUClusterSpec()

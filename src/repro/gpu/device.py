@@ -1,0 +1,92 @@
+"""Device specifications and occupancy.
+
+:class:`DeviceSpec` captures the handful of hardware parameters the
+execution and timing models consume.  The Fermi C2070 preset matches the
+paper's §3.2 hardware (14 multiprocessors × 32 CUDA cores @ 1.15 GHz, 6 GB);
+the Xeon E5540 preset stands in for the 4-core CPU reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "FERMI_C2070", "XEON_E5540", "occupancy"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of one compute device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    sm_count:
+        Streaming multiprocessors (or CPU cores for a CPU device).
+    cores_per_sm:
+        Scalar lanes per multiprocessor.
+    clock_ghz:
+        Core clock.
+    mem_bandwidth_gbs:
+        Device memory bandwidth (GB/s).
+    cache_per_sm_kb:
+        Per-SM local storage (shared memory + L1); bounds how large a
+        subdomain fits on chip — the reason the paper's local iterations
+        "almost come for free".
+    max_threads_per_sm:
+        Occupancy limit used to derive concurrent thread blocks.
+    kernel_launch_overhead_s:
+        Per-kernel launch latency (host-side).
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    mem_bandwidth_gbs: float
+    cache_per_sm_kb: float
+    max_threads_per_sm: int
+    kernel_launch_overhead_s: float
+
+    def flops(self) -> float:
+        """Nominal peak FLOP/s (fused multiply-add not double counted)."""
+        return self.sm_count * self.cores_per_sm * self.clock_ghz * 1e9
+
+
+#: The paper's GPU: NVIDIA Fermi C2070 (§3.2).
+FERMI_C2070 = DeviceSpec(
+    name="Fermi C2070",
+    sm_count=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    mem_bandwidth_gbs=144.0,
+    cache_per_sm_kb=64.0,
+    max_threads_per_sm=1536,
+    kernel_launch_overhead_s=7e-6,
+)
+
+#: The paper's CPU (one socket of the Supermicro host).
+XEON_E5540 = DeviceSpec(
+    name="Xeon E5540",
+    sm_count=4,
+    cores_per_sm=1,
+    clock_ghz=2.53,
+    mem_bandwidth_gbs=25.6,
+    cache_per_sm_kb=256.0,
+    max_threads_per_sm=1,
+    kernel_launch_overhead_s=0.0,
+)
+
+
+def occupancy(device: DeviceSpec, threads_per_block: int) -> int:
+    """Concurrent resident thread blocks across the whole device.
+
+    The classic occupancy bound: blocks per SM limited by the thread budget,
+    times the SM count.  This is the ``concurrency`` the wave scheduler uses
+    — e.g. 448-thread blocks on the C2070 give 3 blocks/SM × 14 SMs = 42
+    concurrent blocks.
+    """
+    if threads_per_block < 1:
+        raise ValueError("threads_per_block must be positive")
+    per_sm = max(1, device.max_threads_per_sm // threads_per_block)
+    return per_sm * device.sm_count

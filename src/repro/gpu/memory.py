@@ -1,0 +1,50 @@
+"""Interconnect links and transfer-time model.
+
+Transfers follow the standard latency + size/bandwidth model.  The presets
+match the paper's host (§3.2/§4.6): PCIe 2.0 ×16 per GPU, and the QPI link
+between the two CPU sockets that §4.6 identifies as the bottleneck once
+more than two GPUs participate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Link", "transfer_time", "PCIE_GEN2_X16", "QPI"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A serial interconnect link.
+
+    Attributes
+    ----------
+    name:
+        Label used by the event simulator's resource accounting.
+    bandwidth_gbs:
+        Sustained bandwidth in GB/s (effective, not theoretical peak).
+    latency_s:
+        Per-transfer initiation latency (driver + DMA setup).
+    """
+
+    name: str
+    bandwidth_gbs: float
+    latency_s: float
+
+    def time(self, nbytes: float) -> float:
+        """Transfer duration for a message of *nbytes*."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+def transfer_time(nbytes: float, link: Link) -> float:
+    """Function-style alias for :meth:`Link.time`."""
+    return link.time(nbytes)
+
+
+#: PCIe 2.0 ×16: ~8 GB/s theoretical, ~5.5 GB/s sustained for device copies.
+PCIE_GEN2_X16 = Link(name="pcie2x16", bandwidth_gbs=5.5, latency_s=15e-6)
+
+#: Intel QPI between the two Xeon sockets (shared by all cross-socket traffic).
+QPI = Link(name="qpi", bandwidth_gbs=11.0, latency_s=2e-6)

@@ -1,0 +1,305 @@
+"""Multi-GPU block-asynchronous iteration: strategies, timing and convergence.
+
+§3.4 of the paper proposes three ways to move the iterate between devices:
+
+* **AMC** (asynchronous multicopy) — every GPU exchanges data with host
+  memory over its *own* PCIe link; the per-GPU streams run concurrently.
+* **DC** (GPU-direct memory transfer) — the iterate lives on a master GPU;
+  every exchange crosses the *master's* PCIe link, which serialises all
+  peers' traffic.
+* **DK** (GPU-direct kernel access) — kernels on non-master GPUs read and
+  write the master's memory directly; compute slows to remote-access speed
+  and the remote traffic also contends on the master link.
+
+CUDA 4.0 restricts GPU-direct to same-socket pairs, so for 3+ GPUs the DC
+and DK paths fall back to host-staged transfers across the QPI (the paper
+hits exactly this wall).  Timing is produced by the discrete-event stream
+simulator over the cluster topology; compute durations come from the
+Table 5-calibrated :class:`repro.gpu.timing.IterationCostModel`.
+
+The module also provides :class:`MultiDeviceEngine` — a convergence-level
+simulation where blocks are partitioned over devices and *cross-device*
+reads only see sweep-boundary snapshots (communication happens once per
+sweep), which is the extra layer of asynchronism §3.4 describes.  Its
+convergence is nearly identical to the single-device engine's, reproducing
+the paper's implicit assumption that accuracy depends (almost) only on
+run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.engine import AsyncEngine
+from ..core.schedules import AsyncConfig
+from ..sparse import BlockRowView, CSRMatrix
+from .cluster import GPUClusterSpec, SUPERMICRO_4GPU
+from .streams import EventSimulator, Resource
+from .timing import IterationCostModel
+
+__all__ = ["STRATEGIES", "MultiGPUTimingParams", "MultiGPUModel", "MultiDeviceEngine", "device_partition"]
+
+#: The §3.4 communication strategies.
+STRATEGIES = ("AMC", "DC", "DK")
+
+
+@dataclass(frozen=True)
+class MultiGPUTimingParams:
+    """Calibrated constants of the multi-GPU model.
+
+    All three are contention/latency effects the paper observes but does
+    not measure in isolation; they are calibrated so the Figure 11 bar
+    pattern is reproduced (see EXPERIMENTS.md, experiment F11):
+
+    block_transfer_s:
+        Cost of streaming one thread block's updated components (DMA setup
+        + stream bookkeeping dominate for these tiny messages).
+    qpi_staging_factor:
+        Multiplier on transfer costs that cross the QPI via host staging.
+    remote_access_factor:
+        DK only — slowdown of a kernel whose operands live in another
+        GPU's memory.
+    single_gpu_sync_s:
+        Residual per-block stream-synchronisation cost when no transfers
+        are needed (single-GPU DC/DK).
+    """
+
+    block_transfer_s: float = 2.0e-4
+    qpi_staging_factor: float = 2.6
+    remote_access_factor: float = 1.8
+    single_gpu_sync_s: float = 5.0e-5
+
+
+class MultiGPUModel:
+    """Per-iteration timing of the three strategies on a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Host topology (default: the paper's Supermicro 2×2 layout).
+    cost_model:
+        Compute-cost calibration.
+    params:
+        Contention constants (see :class:`MultiGPUTimingParams`).
+    """
+
+    def __init__(
+        self,
+        cluster: GPUClusterSpec = SUPERMICRO_4GPU,
+        cost_model: Optional[IterationCostModel] = None,
+        params: MultiGPUTimingParams = MultiGPUTimingParams(),
+    ):
+        self.cluster = cluster
+        self.cost_model = cost_model if cost_model is not None else IterationCostModel()
+        self.params = params
+
+    # ------------------------------------------------------------------ #
+
+    def _shares(self, matrix, ngpus: int, block_size: int) -> Tuple[float, int, List[int]]:
+        """(compute seconds per GPU share, total blocks, blocks per GPU)."""
+        name, n, nnz = self.cost_model._size_of(matrix)
+        if isinstance(matrix, str):
+            name = matrix
+        t_full = self.cost_model.per_iteration("async", matrix, local_iterations=5)
+        nblocks = max(1, -(-n // block_size))
+        per_gpu = [nblocks // ngpus + (1 if g < nblocks % ngpus else 0) for g in range(ngpus)]
+        return t_full, nblocks, per_gpu
+
+    def iteration_time(
+        self,
+        strategy: str,
+        matrix: Union[str, CSRMatrix, Tuple[int, int]],
+        ngpus: int,
+        *,
+        block_size: int = 448,
+    ) -> float:
+        """Modelled seconds for one global iteration.
+
+        Builds the strategy's task graph for one iteration and returns the
+        event simulator's makespan.
+        """
+        return self._build_simulation(strategy, matrix, ngpus, block_size=block_size).run()
+
+    def _build_simulation(
+        self,
+        strategy: str,
+        matrix: Union[str, CSRMatrix, Tuple[int, int]],
+        ngpus: int,
+        *,
+        block_size: int = 448,
+    ) -> EventSimulator:
+        """The one-iteration task graph for a strategy (unrun)."""
+        if strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        if not (1 <= ngpus <= self.cluster.ngpus):
+            raise ValueError(f"ngpus must be in [1, {self.cluster.ngpus}]")
+        t_full, nblocks, per_gpu = self._shares(matrix, ngpus, block_size)
+        p = self.params
+        sim = EventSimulator()
+        gpu_res = [Resource(f"gpu{g}") for g in range(ngpus)]
+        link_res = [Resource(f"pcie{g}") for g in range(ngpus)]
+        master_link = link_res[0]
+
+        def staging(g: int) -> float:
+            """Transfer-cost multiplier for GPU g's host traffic."""
+            return p.qpi_staging_factor if self.cluster.crosses_qpi_to_host(g) else 1.0
+
+        def peer_staging(g: int) -> float:
+            """Multiplier for master<->g GPU-direct traffic."""
+            return 1.0 if self.cluster.peer_possible(0, g) else p.qpi_staging_factor
+
+        if strategy == "AMC":
+            # The iterate lives in HOST memory (the "communication
+            # facility"), so even a single GPU pays the round trip — this
+            # is exactly why the paper finds DC/DK slightly faster at one
+            # GPU, and why AMC halves almost perfectly at two.
+            for g in range(ngpus):
+                comp = sim.task(f"compute{g}", t_full * per_gpu[g] / nblocks, [gpu_res[g]])
+                # Updated components out, assembled vector back in — on
+                # this GPU's own link, QPI-staged if cross-socket.
+                cost = per_gpu[g] * p.block_transfer_s * staging(g)
+                d2h = sim.task(f"d2h{g}", cost, [link_res[g]], [comp])
+                sim.task(f"h2d{g}", cost, [link_res[g]], [d2h])
+        elif strategy == "DC":
+            for g in range(ngpus):
+                comp = sim.task(f"compute{g}", t_full * per_gpu[g] / nblocks, [gpu_res[g]])
+                if g == 0:
+                    sim.task("sync0", per_gpu[g] * p.single_gpu_sync_s, [master_link], [comp])
+                else:
+                    # Peer traffic both ways crosses the master's link.
+                    cost = per_gpu[g] * p.block_transfer_s * peer_staging(g)
+                    back = sim.task(f"d2d_back{g}", cost, [master_link, link_res[g]], [comp])
+                    sim.task(f"d2d_out{g}", cost, [master_link, link_res[g]], [back])
+        else:  # DK
+            # Peer kernels launch first (they are the long pole and start
+            # immediately); the master's stream sync then queues behind
+            # their remote traffic on its own link.
+            for g in range(1, ngpus):
+                # Remote-operand kernels: slower, and their traffic
+                # occupies the master link for the whole kernel.
+                dur = (t_full * per_gpu[g] / nblocks) * p.remote_access_factor * peer_staging(g)
+                sim.task(f"compute{g}", dur, [gpu_res[g], master_link])
+            comp = sim.task("compute0", t_full * per_gpu[0] / nblocks, [gpu_res[0]])
+            sim.task("sync0", per_gpu[0] * p.single_gpu_sync_s, [master_link], [comp])
+        return sim
+
+    def trace(
+        self,
+        strategy: str,
+        matrix: Union[str, CSRMatrix, Tuple[int, int]],
+        ngpus: int,
+        *,
+        block_size: int = 448,
+        width: int = 64,
+    ) -> str:
+        """ASCII Gantt chart of one iteration's task timeline.
+
+        Rebuilds the strategy's task graph and renders which resource was
+        busy with what — the picture behind the Figure 11 bars (AMC's
+        parallel lanes vs DC/DK's master-link serialisation).
+        """
+        from .trace import render_gantt
+
+        sim = self._build_simulation(strategy, matrix, ngpus, block_size=block_size)
+        sim.run()
+        return render_gantt(sim, width=width)
+
+    def time_to_convergence(
+        self,
+        strategy: str,
+        matrix: Union[str, CSRMatrix, Tuple[int, int]],
+        ngpus: int,
+        iterations: int,
+        *,
+        block_size: int = 448,
+    ) -> float:
+        """Figure 11's quantity: iterations × per-iteration time.
+
+        The paper subtracts initialisation overhead in Figure 11, so no
+        setup model is applied here.
+        """
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        return iterations * self.iteration_time(strategy, matrix, ngpus, block_size=block_size)
+
+
+def device_partition(nblocks: int, ngpus: int) -> np.ndarray:
+    """Device id per block: contiguous balanced ranges (paper §3.4)."""
+    if nblocks < 1 or ngpus < 1:
+        raise ValueError("nblocks and ngpus must be positive")
+    return np.minimum((np.arange(nblocks) * ngpus) // nblocks, ngpus - 1).astype(np.int64)
+
+
+class MultiDeviceEngine(AsyncEngine):
+    """Convergence-level multi-GPU simulation.
+
+    Blocks are partitioned over *ngpus* devices.  Within a device the usual
+    wave semantics apply; values owned by *other* devices are read from the
+    sweep-start snapshot, modelling once-per-sweep inter-device
+    communication (the extra asynchronism layer of §3.4).
+    """
+
+    def __init__(
+        self,
+        view: BlockRowView,
+        b: np.ndarray,
+        config: AsyncConfig,
+        ngpus: int,
+        **kwargs,
+    ):
+        super().__init__(view, b, config, **kwargs)
+        if ngpus < 1:
+            raise ValueError("ngpus must be >= 1")
+        self.ngpus = ngpus
+        self.assignment = device_partition(view.nblocks, ngpus)
+        # Per block: split the external part into same-device columns
+        # (read live) and remote columns (read from the sweep snapshot).
+        self._near: List = []
+        self._far: List = []
+        for blk in view.blocks:
+            dev = self.assignment[blk.index]
+            owned = np.flatnonzero(self.assignment == dev)
+            lo = int(view.boundaries[owned[0]])
+            hi = int(view.boundaries[owned[-1] + 1])
+            near, far = blk.external.column_range_split(lo, hi)
+            self._near.append(near)
+            self._far.append(far)
+
+    def sweep(self, x: np.ndarray) -> np.ndarray:
+        """One global iteration with per-device snapshot isolation.
+
+        Same-device neighbours follow the usual stochastic-staleness rule;
+        other devices' values always come from the sweep-start snapshot
+        (they are only exchanged at sweep boundaries).
+        """
+        cfg = self.config
+        rng = self.rng
+        view = self.view
+        self._refresh_fault_state()
+        frozen = self._frozen_local if self._frozen_mask is not None else None
+        order, gamma = self.scheduler.plan_for_sweep(self.sweep_index, rng)
+        snapshot = x.copy()
+
+        for pos, bid in enumerate(order):
+            blk = view.blocks[bid]
+            rows = blk.rows
+            g = gamma[pos]
+            near = self._near[bid].matvec(snapshot)
+            if g > 0.0:
+                near += g * (self._near[bid].matvec(x) - near)
+            s = self._b_blocks[bid] - near - self._far[bid].matvec(snapshot)
+            frozen_local = frozen[bid] if frozen is not None else None
+            for _ in range(cfg.local_iterations):
+                old_local = x[rows]
+                new_local = (s - blk.local_off.matvec(x)) / blk.diag
+                if cfg.omega != 1.0:
+                    new_local = (1.0 - cfg.omega) * old_local + cfg.omega * new_local
+                if frozen_local is not None and len(frozen_local):
+                    new_local[frozen_local] = old_local[frozen_local]
+                x[rows] = new_local
+            self.update_counts[bid] += 1
+        self.sweep_index += 1
+        return x

@@ -1,0 +1,287 @@
+"""Calibrated iteration-time model (paper Tables 4/5, Figure 8).
+
+We cannot measure a 2011 Fermi system, and Python wall-clock times would say
+nothing about it.  Instead the timing substrate is *calibrated against the
+paper's own measurements*:
+
+* :data:`PAPER_TABLE5` — the paper's measured average per-global-iteration
+  times (seconds) for Gauss-Seidel on the CPU, Jacobi on the GPU and
+  async-(5) on the GPU, for each suite matrix.
+* :data:`PAPER_TABLE4_FV3` — the paper's measured total times for
+  async-(1)…async-(9) on fv3 at 100…500 global iterations, from which the
+  model extracts (a) the per-extra-local-iteration cost fraction (≈ 4.8 %,
+  the paper's "local iterations almost come for free") and (b) the one-off
+  setup overhead that makes Figure 8's average-per-iteration curves decay
+  like 1/N.
+
+For matrices outside the suite, a least-squares (n, nnz) regression over
+the calibration rows extrapolates.  Every benchmark that reports modelled
+times says so explicitly; the model's own *self-consistency* against
+Tables 4/5 is part of the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .device import DeviceSpec, FERMI_C2070, XEON_E5540
+from .memory import PCIE_GEN2_X16, Link
+
+__all__ = [
+    "MethodTimes",
+    "PAPER_TABLE5",
+    "PAPER_TABLE4_FV3",
+    "LOCAL_ITER_FRACTION",
+    "ASYNC_SETUP_OVERHEAD_S",
+    "IterationCostModel",
+    "SetupCostModel",
+]
+
+
+@dataclass(frozen=True)
+class MethodTimes:
+    """One row of the paper's Table 5 (seconds per global iteration)."""
+
+    gs_cpu: float
+    jacobi_gpu: float
+    async5_gpu: float
+
+
+#: Paper Table 5, verbatim: average per-iteration timings in seconds.
+PAPER_TABLE5: Dict[str, MethodTimes] = {
+    "Chem97ZtZ": MethodTimes(0.008448, 0.002051, 0.001742),
+    "fv1": MethodTimes(0.120191, 0.019449, 0.012964),
+    "fv2": MethodTimes(0.125572, 0.020997, 0.014729),
+    "fv3": MethodTimes(0.125577, 0.021009, 0.014737),
+    "s1rmt3m1": MethodTimes(0.039530, 0.006442, 0.004967),
+    "Trefethen_2000": MethodTimes(0.007603, 0.001494, 0.001305),
+}
+
+#: Paper Table 4, verbatim: total seconds for async-(k) on fv3, k -> {iters: s}.
+PAPER_TABLE4_FV3: Dict[int, Dict[int, float]] = {
+    1: {100: 1.376425, 200: 2.437521, 300: 3.501462, 400: 4.563519, 500: 5.624792},
+    2: {100: 1.431110, 200: 2.546361, 300: 3.660030, 400: 4.773864, 500: 5.891870},
+    3: {100: 1.482574, 200: 2.654470, 300: 3.819478, 400: 4.987472, 500: 6.156434},
+    4: {100: 1.532940, 200: 2.749808, 300: 3.972644, 400: 5.191812, 500: 6.410378},
+    5: {100: 1.577105, 200: 2.838185, 300: 4.099068, 400: 5.363081, 500: 6.655686},
+    6: {100: 1.629628, 200: 2.938897, 300: 4.255335, 400: 5.569045, 500: 6.879329},
+    7: {100: 1.680975, 200: 3.044979, 300: 4.412199, 400: 5.778823, 500: 7.144304},
+    8: {100: 1.736295, 200: 3.148895, 300: 4.571684, 400: 5.990520, 500: 7.409536},
+    9: {100: 1.786658, 200: 3.259132, 300: 4.730689, 400: 6.202893, 500: 7.676786},
+}
+
+
+def _table4_slopes() -> Tuple[np.ndarray, np.ndarray]:
+    """Per-iteration slope and intercept of total time vs iterations, per k."""
+    ks = sorted(PAPER_TABLE4_FV3)
+    slopes = []
+    intercepts = []
+    for k in ks:
+        pts = PAPER_TABLE4_FV3[k]
+        iters = np.array(sorted(pts))
+        total = np.array([pts[i] for i in iters])
+        slope, intercept = np.polyfit(iters, total, 1)
+        slopes.append(slope)
+        intercepts.append(intercept)
+    return np.array(slopes), np.array(intercepts)
+
+
+_SLOPES, _INTERCEPTS = _table4_slopes()
+
+#: Relative cost of one extra local Jacobi sweep, extracted from Table 4:
+#: the per-iteration slope grows linearly in k at ~4.8 % of the k=1 slope —
+#: the paper's "less than 5 % per local iteration".
+LOCAL_ITER_FRACTION = float(np.polyfit(np.arange(1, 10), _SLOPES / _SLOPES[0], 1)[0])
+
+#: One-off GPU setup overhead (context, allocation, initial transfers) for an
+#: fv3-sized problem, from Table 4's intercept; drives Figure 8's 1/N decay.
+ASYNC_SETUP_OVERHEAD_S = float(np.mean(_INTERCEPTS))
+
+def async_total_time_fv3(local_iterations: int, iterations: int) -> float:
+    """Modelled total seconds for async-(k) on fv3 (Table 4 reproduction).
+
+    Uses the per-k linear fits (slope + setup intercept) extracted from the
+    paper's own Table 4, so this reproduces that table to fit accuracy; the
+    general :class:`IterationCostModel` path reconciles Table 4 with
+    Table 5 instead (whose averages fold in amortised setup).
+    """
+    k = local_iterations
+    if not (1 <= k <= 9):
+        raise ValueError("Table 4 covers local_iterations in [1, 9]")
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    return float(_INTERCEPTS[k - 1] + _SLOPES[k - 1] * iterations)
+
+
+_METHODS = ("gauss-seidel", "jacobi", "async", "cg")
+
+#: Modelled CG-on-GPU per-iteration cost as a fraction of the Jacobi kernel:
+#: the paper's CG is "highly tuned" with fused BLAS-1 ops, while its Jacobi
+#: timing includes the per-iteration synchronisation; calibrated so the
+#: Figure 9 orderings (CG ≈ 1/3 faster than async-(5) on fv1, comparable on
+#: Chem97ZtZ, slower on Trefethen_2000) are reproduced.
+CG_JACOBI_FRACTION = 0.085
+
+
+class IterationCostModel:
+    """Seconds per global iteration for each method on each matrix.
+
+    Parameters
+    ----------
+    gpu / cpu:
+        Device specs (reserved for alternative calibrations; the default
+        model is anchored to the paper's published numbers, which already
+        encode the C2070/E5540 pair).
+    """
+
+    def __init__(self, gpu: DeviceSpec = FERMI_C2070, cpu: DeviceSpec = XEON_E5540):
+        self.gpu = gpu
+        self.cpu = cpu
+        # Least-squares (n, nnz) -> time fits for out-of-suite matrices.
+        from ..matrices.suite import PAPER_TABLE1
+
+        rows = [name for name in PAPER_TABLE5]
+        X = np.array([[PAPER_TABLE1[r].n, PAPER_TABLE1[r].nnz] for r in rows], dtype=float)
+        self._fits: Dict[str, np.ndarray] = {}
+        for method, col in (("gauss-seidel", 0), ("jacobi", 1), ("async", 2)):
+            y = np.array(
+                [
+                    (
+                        PAPER_TABLE5[r].gs_cpu,
+                        PAPER_TABLE5[r].jacobi_gpu,
+                        PAPER_TABLE5[r].async5_gpu,
+                    )[col]
+                    for r in rows
+                ]
+            )
+            from scipy.optimize import nnls
+
+            coef, _ = nnls(X, y)
+            if not np.any(coef > 0):  # pragma: no cover - degenerate data
+                coef = np.array([0.0, y.mean() / X[:, 1].mean()])
+            self._fits[method] = coef
+
+    # ------------------------------------------------------------------ #
+
+    def _size_of(self, matrix: Union[str, CSRMatrix, Tuple[int, int]]) -> Tuple[Optional[str], int, int]:
+        from ..matrices.suite import PAPER_TABLE1
+
+        if isinstance(matrix, str):
+            if matrix in PAPER_TABLE1:
+                info = PAPER_TABLE1[matrix]
+                return matrix, info.n, info.nnz
+            raise KeyError(f"unknown matrix name {matrix!r}")
+        if isinstance(matrix, CSRMatrix):
+            return None, matrix.shape[0], matrix.nnz
+        n, nnz = matrix
+        return None, int(n), int(nnz)
+
+    def _calibrated(self, name: Optional[str], method: str, n: int, nnz: int) -> float:
+        if name is not None and name in PAPER_TABLE5:
+            row = PAPER_TABLE5[name]
+            return {"gauss-seidel": row.gs_cpu, "jacobi": row.jacobi_gpu, "async": row.async5_gpu}[method]
+        if name == "Trefethen_20000":
+            # Not in Table 5; scale Trefethen_2000 by work (nnz ratio).
+            base = PAPER_TABLE5["Trefethen_2000"]
+            scale = nnz / 41906
+            return {
+                "gauss-seidel": base.gs_cpu,
+                "jacobi": base.jacobi_gpu,
+                "async": base.async5_gpu,
+            }[method] * scale
+        coef = self._fits[method]
+        return float(coef[0] * n + coef[1] * nnz)
+
+    def per_iteration(
+        self,
+        method: str,
+        matrix: Union[str, CSRMatrix, Tuple[int, int]],
+        *,
+        local_iterations: int = 5,
+    ) -> float:
+        """Modelled seconds per global iteration.
+
+        ``method`` is one of ``"gauss-seidel"`` (CPU), ``"jacobi"`` (GPU),
+        ``"async"`` (GPU, uses *local_iterations*) or ``"cg"`` (GPU).
+        ``matrix`` is a suite name, a :class:`CSRMatrix` or an ``(n, nnz)``
+        pair.  Table 5 is calibrated at async-(5); other k values scale by
+        the Table 4 local-iteration fraction.
+        """
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+        name, n, nnz = self._size_of(matrix)
+        if isinstance(matrix, str):
+            name = matrix
+        if method == "cg":
+            return CG_JACOBI_FRACTION * self._calibrated(name, "jacobi", n, nnz)
+        if method == "async":
+            if local_iterations < 1:
+                raise ValueError("local_iterations must be >= 1")
+            t5 = self._calibrated(name, "async", n, nnz)
+            base = t5 / (1.0 + 4.0 * LOCAL_ITER_FRACTION)
+            return base * (1.0 + (local_iterations - 1) * LOCAL_ITER_FRACTION)
+        return self._calibrated(name, method, n, nnz)
+
+    def total_time(
+        self,
+        method: str,
+        matrix: Union[str, CSRMatrix, Tuple[int, int]],
+        iterations: int,
+        *,
+        local_iterations: int = 5,
+        setup: Optional["SetupCostModel"] = None,
+    ) -> float:
+        """Modelled wall-clock for *iterations* global iterations."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        per = self.per_iteration(method, matrix, local_iterations=local_iterations)
+        t = per * iterations
+        if setup is not None and method != "gauss-seidel":
+            name, n, nnz = self._size_of(matrix)
+            t += setup.setup_time(n, nnz)
+        return t
+
+    def average_iteration_time(
+        self,
+        method: str,
+        matrix: Union[str, CSRMatrix, Tuple[int, int]],
+        iterations: int,
+        *,
+        local_iterations: int = 5,
+        setup: Optional["SetupCostModel"] = None,
+    ) -> float:
+        """Figure 8's quantity: total time / iteration count."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        return (
+            self.total_time(
+                method, matrix, iterations, local_iterations=local_iterations, setup=setup
+            )
+            / iterations
+        )
+
+
+class SetupCostModel:
+    """One-off GPU setup cost: context/allocation constant + data transfer.
+
+    The constant is dominant (Table 4's fv3 intercept ≈ 0.3 s); the transfer
+    term moves the full CSR structure and vectors over PCIe once.  For the
+    CPU Gauss-Seidel reference the setup is zero — the paper notes its
+    average iteration times are "almost constant".
+    """
+
+    def __init__(self, base_s: Optional[float] = None, link: Link = PCIE_GEN2_X16):
+        self.base_s = ASYNC_SETUP_OVERHEAD_S if base_s is None else base_s
+        if self.base_s < 0:
+            raise ValueError("base_s must be non-negative")
+        self.link = link
+
+    def setup_time(self, n: int, nnz: int) -> float:
+        """Seconds of one-off setup for an (n, nnz) system."""
+        csr_bytes = nnz * 12 + (n + 1) * 8  # data + int32 indices + indptr
+        vector_bytes = 3 * n * 8  # x, b, r
+        return self.base_s + self.link.time(csr_bytes + vector_bytes)

@@ -1,0 +1,61 @@
+"""Test-problem substrate: synthetic reconstructions of the paper's UFMC matrices.
+
+The paper evaluates on seven University of Florida Matrix Collection systems
+(its Table 1).  This subpackage rebuilds each one:
+
+* ``Trefethen_2000`` / ``Trefethen_20000`` — **exact**: the published
+  definition (primes on the diagonal, unit entries at power-of-two offsets)
+  reproduces the paper's nnz counts to the digit.
+* ``fv1`` / ``fv2`` / ``fv3`` — 9-point stencil Laplacians on 98×98 / 99×99
+  grids (the paper's nnz counts match these stencils exactly), spectrally
+  calibrated so ρ(B) and cond(D⁻¹A) match Table 1, then symmetrically
+  diagonally scaled to match cond(A) (symmetric diagonal scaling leaves the
+  Jacobi iteration matrix's spectrum invariant).
+* ``Chem97ZtZ`` — a statistical normal-equations surrogate: near-diagonal
+  blocks plus long-range pair couplings, calibrated to ρ(B) = 0.7889.
+* ``s1rmt3m1`` — a structural-stiffness surrogate: wide band, strong
+  off-diagonal coupling, calibrated to ρ(B) ≈ 2.65 > 1 (Jacobi-divergent).
+"""
+
+from .suite import SUITE_NAMES, PAPER_TABLE1, get_matrix, default_rhs, PaperMatrixInfo
+from .analysis import MatrixProperties, characterize, iteration_matrix, sparsity_grid
+from .trefethen import trefethen, primes
+from .grids import stencil_laplacian_2d
+from .grids3d import stencil_laplacian_3d
+from .fem import fv_like
+from .chem import chem97ztz_like
+from .structural import s1rmt3m1_like
+from .mmio import read_matrix_market, write_matrix_market
+from .rcm import reverse_cuthill_mckee, permute_symmetric, bandwidth
+from .clustering import cluster_reorder
+from .generators import Problem, poisson_2d, poisson_3d, random_nonsymmetric, random_spd
+
+__all__ = [
+    "SUITE_NAMES",
+    "PAPER_TABLE1",
+    "PaperMatrixInfo",
+    "get_matrix",
+    "default_rhs",
+    "MatrixProperties",
+    "characterize",
+    "iteration_matrix",
+    "sparsity_grid",
+    "trefethen",
+    "primes",
+    "stencil_laplacian_2d",
+    "stencil_laplacian_3d",
+    "fv_like",
+    "chem97ztz_like",
+    "s1rmt3m1_like",
+    "read_matrix_market",
+    "write_matrix_market",
+    "reverse_cuthill_mckee",
+    "permute_symmetric",
+    "bandwidth",
+    "cluster_reorder",
+    "Problem",
+    "poisson_2d",
+    "poisson_3d",
+    "random_nonsymmetric",
+    "random_spd",
+]

@@ -1,0 +1,97 @@
+"""Coupling-aware block orderings.
+
+The engine's subdomains are *contiguous row ranges* (that is what a CUDA
+thread block addresses), so the only way to change which couplings are
+local is to **reorder the matrix**.  §4.3 of the paper suggests reordering
+for Chem97ZtZ; `repro.matrices.rcm` provides the classical
+bandwidth-reducing answer, and this module provides the one actually
+aimed at the method's objective: greedy BFS *clustering*, which grows
+clusters of exactly ``block_size`` strongly-coupled rows and lays them out
+consecutively — directly minimising the off-block coupling mass that local
+iterations cannot see, rather than the bandwidth proxy.
+
+The X3 extension experiment compares natural vs RCM vs cluster orderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check_square
+from ..sparse import CSRMatrix
+
+__all__ = ["cluster_reorder"]
+
+
+def cluster_reorder(A: CSRMatrix, block_size: int, *, weighted: bool = True) -> np.ndarray:
+    """Permutation laying out BFS-grown coupling clusters consecutively.
+
+    Parameters
+    ----------
+    A:
+        Square sparse matrix (structure symmetrised internally).
+    block_size:
+        Target cluster size — use the block size the solver will run with,
+        so cluster boundaries coincide with block boundaries.
+    weighted:
+        Grow clusters by descending coupling magnitude ``|a_ij|`` (default)
+        instead of plain breadth-first order.
+
+    Returns
+    -------
+    numpy.ndarray
+        Permutation ``p`` (new index → old index): apply with
+        :func:`repro.matrices.rcm.permute_symmetric`.
+
+    Notes
+    -----
+    Greedy algorithm: repeatedly seed an unassigned vertex (lowest degree
+    first), grow it to ``block_size`` members by repeatedly absorbing the
+    unassigned neighbour with the strongest total coupling to the cluster,
+    then emit the cluster.  O(nnz log n)-ish with the frontier kept in a
+    dict; exact optimisation is NP-hard (graph partitioning) and
+    unnecessary — the greedy already captures most of the gain.
+    """
+    n = check_square(A.shape, "cluster_reorder input")
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    sym = A.add(A.transpose())
+    _, off = sym.split_diagonal()
+    indptr, indices, data = off.indptr, off.indices, np.abs(off.data)
+    degree = off.row_nnz()
+
+    assigned = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    seeds = np.argsort(degree, kind="stable")
+    for seed in seeds:
+        if assigned[seed]:
+            continue
+        # Grow one cluster from this seed.
+        assigned[seed] = True
+        order[pos] = seed
+        pos += 1
+        size = 1
+        # frontier: candidate -> accumulated coupling weight to the cluster
+        frontier = {}
+        lo, hi = indptr[seed], indptr[seed + 1]
+        for j, w in zip(indices[lo:hi], data[lo:hi]):
+            if not assigned[j]:
+                frontier[int(j)] = frontier.get(int(j), 0.0) + (w if weighted else 1.0)
+        while size < block_size and frontier:
+            # Absorb the strongest-coupled candidate.
+            best = max(frontier.items(), key=lambda kv: kv[1])[0]
+            del frontier[best]
+            if assigned[best]:
+                continue
+            assigned[best] = True
+            order[pos] = best
+            pos += 1
+            size += 1
+            lo, hi = indptr[best], indptr[best + 1]
+            for j, w in zip(indices[lo:hi], data[lo:hi]):
+                if not assigned[j]:
+                    frontier[int(j)] = frontier.get(int(j), 0.0) + (w if weighted else 1.0)
+        # Cluster complete (or component exhausted); next seed starts a new one.
+    assert pos == n
+    return order

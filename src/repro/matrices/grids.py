@@ -1,0 +1,119 @@
+"""Structured 2-D grid stencil assembly.
+
+The fv* matrices in the paper are finite-element discretizations of 2-D
+problems; their nonzero counts identify them as 9-point stencils on uniform
+grids with Dirichlet boundaries (98×98 for fv1, 99×99 for fv2/fv3).  This
+module assembles such stencil operators in CSR form, fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..sparse import COOMatrix, CSRMatrix
+
+__all__ = ["stencil_laplacian_2d", "STENCILS"]
+
+#: Named stencils: offset -> coefficient maps (row-sum zero for pure Laplacians).
+STENCILS: Dict[str, Dict[Tuple[int, int], float]] = {
+    # Classical finite-difference 5-point Laplacian (h^2-scaled).
+    "5pt": {
+        (0, 0): 4.0,
+        (-1, 0): -1.0,
+        (1, 0): -1.0,
+        (0, -1): -1.0,
+        (0, 1): -1.0,
+    },
+    # Q1 bilinear FEM Laplacian: the 9-point stencil 1/3 * [[-1,-1,-1],[-1,8,-1],[-1,-1,-1]].
+    "9pt": {
+        (0, 0): 8.0 / 3.0,
+        (-1, -1): -1.0 / 3.0,
+        (-1, 0): -1.0 / 3.0,
+        (-1, 1): -1.0 / 3.0,
+        (0, -1): -1.0 / 3.0,
+        (0, 1): -1.0 / 3.0,
+        (1, -1): -1.0 / 3.0,
+        (1, 0): -1.0 / 3.0,
+        (1, 1): -1.0 / 3.0,
+    },
+}
+
+
+def stencil_laplacian_2d(
+    nx: int,
+    ny: Optional[int] = None,
+    *,
+    stencil: str = "9pt",
+    shift: float = 0.0,
+    coefficient: Optional[np.ndarray] = None,
+) -> CSRMatrix:
+    """Assemble a stencil operator on an ``nx × ny`` grid of unknowns.
+
+    Parameters
+    ----------
+    nx, ny:
+        Grid extents (``ny`` defaults to ``nx``).  Unknowns are the grid
+        points themselves; Dirichlet boundary conditions are imposed by
+        simply dropping stencil legs that leave the grid (the diagonal is
+        *not* modified, which keeps the operator SPD and the diagonal
+        constant — the calibration in :mod:`repro.matrices.fem` relies on
+        this).
+    stencil:
+        Key into :data:`STENCILS` (``"5pt"`` or ``"9pt"``).
+    shift:
+        Constant added to the diagonal (a reaction/mass term ``shift * I``);
+        this is the knob the fv generators use to place the Jacobi spectrum.
+    coefficient:
+        Optional per-point positive coefficient field ``c`` of shape
+        ``(nx, ny)``; entry ``(i, j)`` of the operator is multiplied by
+        ``sqrt(c_i * c_j)``, a symmetric scaling that models jumping PDE
+        coefficients (used for the ill-conditioned fv3 surrogate).
+
+    Returns
+    -------
+    CSRMatrix
+        The ``(nx*ny) × (nx*ny)`` operator, rows ordered lexicographically
+        (x-major).
+    """
+    ny = nx if ny is None else ny
+    if nx < 1 or ny < 1:
+        raise ValueError("grid extents must be positive")
+    try:
+        legs = STENCILS[stencil]
+    except KeyError:
+        raise ValueError(f"unknown stencil {stencil!r}; options: {sorted(STENCILS)}") from None
+    n = nx * ny
+    ix, iy = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    ix = ix.ravel()
+    iy = iy.ravel()
+    base = ix * ny + iy
+
+    if coefficient is not None:
+        coeff = np.asarray(coefficient, dtype=np.float64)
+        if coeff.shape != (nx, ny):
+            raise ValueError(f"coefficient must have shape ({nx}, {ny})")
+        if np.any(coeff <= 0):
+            raise ValueError("coefficient field must be strictly positive")
+        w = np.sqrt(coeff.ravel())
+    else:
+        w = None
+
+    rows, cols, vals = [], [], []
+    for (dx, dy), a in legs.items():
+        jx = ix + dx
+        jy = iy + dy
+        inside = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny)
+        r = base[inside]
+        c = (jx * ny + jy)[inside]
+        v = np.full(len(r), a)
+        if dx == 0 and dy == 0:
+            v = v + shift
+        if w is not None:
+            v = v * w[r] * w[c]
+        rows.append(r)
+        cols.append(c)
+        vals.append(v)
+    coo = COOMatrix(np.concatenate(rows), np.concatenate(cols), np.concatenate(vals), (n, n))
+    return coo.tocsr()

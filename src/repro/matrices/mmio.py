@@ -1,0 +1,93 @@
+"""Minimal MatrixMarket I/O.
+
+The paper's matrices come from the University of Florida collection, which
+distributes MatrixMarket files.  The reconstruction generators make network
+access unnecessary, but this module lets a user drop in the *real* UFMC
+files and run every experiment against them unchanged.
+
+Supported: ``matrix coordinate real/integer/pattern`` with ``general`` or
+``symmetric`` symmetry (the formats UFMC SPD matrices use).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..sparse import COOMatrix, CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+PathLike = Union[str, Path]
+
+
+def _parse_header(line: str) -> Tuple[str, str]:
+    parts = line.strip().lower().split()
+    if len(parts) != 5 or parts[0] != "%%matrixmarket" or parts[1] != "matrix":
+        raise ValueError(f"not a MatrixMarket matrix header: {line.strip()!r}")
+    fmt, field, symmetry = parts[2], parts[3], parts[4]
+    if fmt != "coordinate":
+        raise ValueError(f"only coordinate format is supported, got {fmt!r}")
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported field {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+    return field, symmetry
+
+
+def read_matrix_market(path: PathLike) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`CSRMatrix`.
+
+    Symmetric files are expanded to full storage (both triangles), matching
+    how the solvers consume matrices.
+    """
+    text = Path(path).read_text()
+    lines = iter(text.splitlines())
+    field, symmetry = _parse_header(next(lines))
+    # Skip comments; first non-comment line is the size line.
+    for line in lines:
+        s = line.strip()
+        if s and not s.startswith("%"):
+            size_line = s
+            break
+    else:
+        raise ValueError("missing size line")
+    parts = size_line.split()
+    if len(parts) != 3:
+        raise ValueError(f"bad size line: {size_line!r}")
+    nrows, ncols, nnz = (int(p) for p in parts)
+
+    body = "\n".join(l for l in lines if l.strip() and not l.lstrip().startswith("%"))
+    if nnz == 0:
+        return COOMatrix.empty((nrows, ncols)).tocsr()
+    cols_needed = 2 if field == "pattern" else 3
+    raw = np.loadtxt(io.StringIO(body), ndmin=2)
+    if raw.shape != (nnz, cols_needed):
+        raise ValueError(f"expected {nnz} entries with {cols_needed} columns, got shape {raw.shape}")
+    r = raw[:, 0].astype(np.int64) - 1
+    c = raw[:, 1].astype(np.int64) - 1
+    v = raw[:, 2].astype(np.float64) if field != "pattern" else np.ones(nnz)
+
+    if symmetry == "symmetric":
+        if np.any(c > r):
+            raise ValueError("symmetric files must store the lower triangle only")
+        off = r != c
+        r = np.concatenate([r, c[off]])
+        c = np.concatenate([c, raw[:, 0].astype(np.int64)[off] - 1])
+        v = np.concatenate([v, v[off]])
+    return COOMatrix(r, c, v, (nrows, ncols)).tocsr()
+
+
+def write_matrix_market(path: PathLike, A: CSRMatrix, *, comment: str = "") -> None:
+    """Write *A* as a ``general real coordinate`` MatrixMarket file."""
+    coo = A.to_coo()
+    with open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.data):
+            fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")

@@ -1,0 +1,88 @@
+"""Reverse Cuthill–McKee reordering.
+
+The paper notes (§4.3) that matrices whose diagonal blocks are themselves
+diagonal — Chem97ZtZ — gain nothing from local iterations, and that "an
+improvement for this case could potentially be obtained by reordering".
+This module provides that reordering (bandwidth-reducing RCM, own BFS
+implementation) plus helpers to apply a symmetric permutation; the X3
+extension benchmark quantifies the effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check_square
+from ..sparse import CSRMatrix
+
+__all__ = ["reverse_cuthill_mckee", "permute_symmetric", "bandwidth"]
+
+
+def bandwidth(A: CSRMatrix) -> int:
+    """Maximum distance of a stored entry from the diagonal."""
+    check_square(A.shape, "bandwidth input")
+    if A.nnz == 0:
+        return 0
+    return int(np.abs(A._expanded_rows() - A.indices).max())
+
+
+def _adjacency(A: CSRMatrix) -> CSRMatrix:
+    """Symmetrised structural adjacency of A (diagonal dropped)."""
+    sym = A.add(A.transpose())
+    _, off = sym.split_diagonal()
+    return off
+
+
+def reverse_cuthill_mckee(A: CSRMatrix) -> np.ndarray:
+    """RCM permutation *p* such that ``A[p][:, p]`` has reduced bandwidth.
+
+    The classic algorithm: per connected component, breadth-first search
+    from a pseudo-peripheral low-degree vertex, visiting neighbours in
+    increasing-degree order, then reverse the visit order.  Works on the
+    symmetrized structure, so unsymmetric input is accepted.
+    """
+    n = check_square(A.shape, "reverse_cuthill_mckee input")
+    adj = _adjacency(A)
+    degree = adj.row_nnz()
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    # Process vertices globally by increasing degree so each component
+    # starts from a low-degree (pseudo-peripheral) seed.
+    seeds = np.argsort(degree, kind="stable")
+    for seed in seeds:
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue = [int(seed)]
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            order[pos] = v
+            pos += 1
+            nbrs = adj.indices[adj.indptr[v] : adj.indptr[v + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            if len(fresh):
+                fresh = fresh[np.argsort(degree[fresh], kind="stable")]
+                visited[fresh] = True
+                queue.extend(int(u) for u in fresh)
+    assert pos == n
+    return order[::-1].copy()
+
+
+def permute_symmetric(A: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """Symmetric permutation ``A[perm][:, perm]``.
+
+    *perm* maps new index → old index (the convention RCM returns).
+    """
+    n = check_square(A.shape, "permute_symmetric input")
+    perm = np.asarray(perm, dtype=np.int64)
+    if sorted(perm.tolist()) != list(range(n)):
+        raise ValueError("perm must be a permutation of range(n)")
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n, dtype=np.int64)
+    from ..sparse import COOMatrix
+
+    coo = COOMatrix(inv[A._expanded_rows()], inv[A.indices], A.data.copy(), A.shape)
+    return coo.tocsr()

@@ -1,0 +1,110 @@
+"""The experiment suite: the paper's seven test systems, by name.
+
+:func:`get_matrix` maps the UFMC names used throughout the paper to the
+reconstruction generators, and :data:`PAPER_TABLE1` records the published
+Table 1 values so benchmarks and tests can print paper-vs-measured
+comparisons side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from .._util import RNGLike, as_rng
+from ..sparse import CSRMatrix
+from .chem import chem97ztz_like
+from .fem import fv_like
+from .structural import s1rmt3m1_like
+from .trefethen import trefethen
+
+__all__ = ["PaperMatrixInfo", "PAPER_TABLE1", "SUITE_NAMES", "get_matrix", "default_rhs"]
+
+
+@dataclass(frozen=True)
+class PaperMatrixInfo:
+    """One row of the paper's Table 1."""
+
+    name: str
+    description: str
+    n: int
+    nnz: int
+    cond_a: float
+    cond_scaled: float
+    rho: float
+
+    @property
+    def jacobi_convergent(self) -> bool:
+        """Whether the paper's ρ(M) implies Jacobi convergence."""
+        return self.rho < 1.0
+
+
+#: Published Table 1, verbatim.
+PAPER_TABLE1: Dict[str, PaperMatrixInfo] = {
+    info.name: info
+    for info in [
+        PaperMatrixInfo("Chem97ZtZ", "statistical problem", 2541, 7361, 1.3e3, 7.2e3, 0.7889),
+        PaperMatrixInfo("fv1", "2D/3D problem", 9604, 85264, 9.3e4, 12.76, 0.8541),
+        PaperMatrixInfo("fv2", "2D/3D problem", 9801, 87025, 9.5e4, 12.76, 0.8541),
+        PaperMatrixInfo("fv3", "2D/3D problem", 9801, 87025, 3.6e7, 4.4e3, 0.9993),
+        PaperMatrixInfo("s1rmt3m1", "structural problem", 5489, 262411, 2.2e6, 7.2e6, 2.65),
+        PaperMatrixInfo("Trefethen_2000", "combinatorial problem", 2000, 41906, 5.1e4, 6.1579, 0.8601),
+        PaperMatrixInfo("Trefethen_20000", "combinatorial problem", 20000, 554466, 5.1e4, 6.1579, 0.8601),
+    ]
+}
+
+#: Canonical suite order (as in Table 1).
+SUITE_NAMES = tuple(PAPER_TABLE1)
+
+_GENERATORS: Dict[str, Callable[[], CSRMatrix]] = {
+    "Chem97ZtZ": lambda: chem97ztz_like(),
+    "fv1": lambda: fv_like(1),
+    "fv2": lambda: fv_like(2),
+    "fv3": lambda: fv_like(3),
+    "s1rmt3m1": lambda: s1rmt3m1_like(),
+    "Trefethen_2000": lambda: trefethen(2000),
+    "Trefethen_20000": lambda: trefethen(20000),
+}
+
+_CACHE: Dict[str, CSRMatrix] = {}
+
+
+def get_matrix(name: str, *, cache: bool = True) -> CSRMatrix:
+    """Build (or fetch from the in-process cache) a suite matrix by name.
+
+    Names are the UFMC names of the paper ("Chem97ZtZ", "fv1", "fv2",
+    "fv3", "s1rmt3m1", "Trefethen_2000", "Trefethen_20000").  Generators
+    are deterministic, so cached and fresh instances are identical; pass
+    ``cache=False`` to force regeneration (the cached matrix is shared —
+    callers must not mutate it).
+    """
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown suite matrix {name!r}; options: {list(_GENERATORS)}")
+    if cache and name in _CACHE:
+        return _CACHE[name]
+    A = _GENERATORS[name]()
+    if cache:
+        _CACHE[name] = A
+    return A
+
+
+def default_rhs(A: CSRMatrix, *, kind: str = "ones", seed: RNGLike = 0) -> np.ndarray:
+    """The right-hand side used throughout the experiments.
+
+    The paper solves with a single right-hand side (§3.1).  ``kind`` is
+
+    * ``"ones"``      — ``b = A @ 1`` (exact solution is the ones vector;
+      the package default so every experiment has a known solution),
+    * ``"random"``    — ``b = A @ z`` with standard-normal ``z``,
+    * ``"unit"``      — ``b = 1`` (no known solution; residual-only runs).
+    """
+    n = A.shape[0]
+    if kind == "ones":
+        return A.matvec(np.ones(n))
+    if kind == "random":
+        return A.matvec(as_rng(seed).standard_normal(n))
+    if kind == "unit":
+        return np.ones(n)
+    raise ValueError(f"unknown rhs kind {kind!r}")

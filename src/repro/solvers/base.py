@@ -1,0 +1,216 @@
+"""Common solver interface, result record and stopping logic.
+
+All iterative methods in the package — the synchronous baselines here and
+the block-asynchronous solvers in :mod:`repro.core` — share one contract:
+
+    ``result = solver.solve(A, b, x0=None)``
+
+returning a :class:`SolveResult` that records the *l2 residual norm at every
+global iteration* (the quantity all of the paper's convergence figures
+plot), plus convergence status and method-specific info.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .._util import check_square, check_vector
+from ..sparse import CSRMatrix
+
+__all__ = ["StoppingCriterion", "SolveResult", "IterativeSolver"]
+
+
+@dataclass(frozen=True)
+class StoppingCriterion:
+    """Residual-based stopping rule.
+
+    ``relative=True`` (default) compares ``||r|| / ||b||`` against *tol*
+    (with ``||b|| = 0`` falling back to the absolute residual); otherwise
+    ``||r||`` itself is compared.  ``divergence_limit`` aborts runs whose
+    residual exploded (used for the ρ(B) > 1 experiments, where divergence
+    is the expected observation, not an error).
+    """
+
+    tol: float = 1e-14
+    maxiter: int = 1000
+    relative: bool = True
+    divergence_limit: float = 1e100
+
+    def __post_init__(self) -> None:
+        if self.tol < 0:
+            raise ValueError("tol must be non-negative")
+        if self.maxiter < 0:
+            raise ValueError("maxiter must be non-negative")
+
+    def threshold(self, b_norm: float) -> float:
+        """Absolute residual threshold for a given right-hand-side norm."""
+        if self.relative and b_norm > 0:
+            return self.tol * b_norm
+        return self.tol
+
+    def diverged(self, res_norm: float) -> bool:
+        """Whether *res_norm* signals blow-up."""
+        return not np.isfinite(res_norm) or res_norm > self.divergence_limit
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    residuals:
+        l2 residual norms, ``residuals[k]`` after *k* global iterations
+        (``residuals[0]`` is the initial residual).
+    converged:
+        Whether the stopping tolerance was reached.
+    method:
+        Human-readable method tag (e.g. ``"async-(5)"``).
+    b_norm:
+        l2 norm of the right-hand side (for relative-residual plots).
+    info:
+        Method-specific extras (schedules, timing-model output, ...).
+    """
+
+    x: np.ndarray
+    residuals: np.ndarray
+    converged: bool
+    method: str
+    b_norm: float
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def iterations(self) -> int:
+        """Number of global iterations performed."""
+        return len(self.residuals) - 1
+
+    @property
+    def final_residual(self) -> float:
+        """Last recorded l2 residual norm."""
+        return float(self.residuals[-1])
+
+    def relative_residuals(self) -> np.ndarray:
+        """Residual history scaled by ``||b||`` (or unscaled if b = 0)."""
+        if self.b_norm > 0:
+            return self.residuals / self.b_norm
+        return self.residuals.copy()
+
+    def asymptotic_rate(self, *, skip: int = 10, floor: float = 1e-15) -> Optional[float]:
+        """Geometric-mean per-iteration residual contraction.
+
+        Fitted over the history after the first *skip* iterations, ignoring
+        everything at or below *floor* (the rounding plateau).  ``None``
+        when fewer than two usable points remain.  Comparable directly to
+        the spectral radius ρ of the iteration matrix.
+        """
+        rel = self.residuals
+        usable = np.flatnonzero(rel > floor)
+        usable = usable[usable >= skip]
+        if len(usable) < 2:
+            return None
+        first, last = usable[0], usable[-1]
+        if rel[first] <= 0 or last == first:
+            return None
+        return float((rel[last] / rel[first]) ** (1.0 / (last - first)))
+
+    def to_dict(self, *, include_solution: bool = False) -> Dict[str, Any]:
+        """JSON-serialisable summary (history always, iterate on request)."""
+        out: Dict[str, Any] = {
+            "method": self.method,
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "final_residual": float(self.final_residual),
+            "b_norm": float(self.b_norm),
+            "residuals": [float(r) for r in self.residuals],
+            "info": {
+                k: (v.tolist() if isinstance(v, np.ndarray) else v)
+                for k, v in self.info.items()
+            },
+        }
+        if include_solution:
+            out["x"] = self.x.tolist()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SolveResult {self.method}: iters={self.iterations} "
+            f"residual={self.final_residual:.3e} converged={self.converged}>"
+        )
+
+
+class IterativeSolver(abc.ABC):
+    """Base class for all iterative solvers.
+
+    Subclasses implement :meth:`_setup` (per-matrix precomputation) and
+    :meth:`_iterate` (one global iteration, in place); the base class owns
+    the loop, the residual recording and the stopping logic so all methods
+    report histories in exactly the same way.
+    """
+
+    #: Method tag used in results and reports; subclasses override.
+    name = "iterative"
+
+    def __init__(self, stopping: Optional[StoppingCriterion] = None):
+        self.stopping = stopping if stopping is not None else StoppingCriterion()
+
+    # --- subclass protocol ------------------------------------------------
+
+    @abc.abstractmethod
+    def _setup(self, A: CSRMatrix, b: np.ndarray) -> Any:
+        """Precompute per-system state (splittings, schedules, ...)."""
+
+    @abc.abstractmethod
+    def _iterate(self, state: Any, x: np.ndarray) -> np.ndarray:
+        """Perform one global iteration, returning the new iterate."""
+
+    # --- driver -----------------------------------------------------------
+
+    def solve(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        """Run the method on ``A x = b`` until convergence or maxiter."""
+        n = check_square(A.shape, f"{self.name} matrix")
+        b = check_vector(b, n, "b")
+        x = np.zeros(n) if x0 is None else check_vector(x0, n, "x0").copy()
+        state = self._setup(A, b)
+
+        b_norm = float(np.linalg.norm(b))
+        threshold = self.stopping.threshold(b_norm)
+        residuals: List[float] = [float(np.linalg.norm(A.residual(x, b)))]
+        converged = residuals[0] <= threshold
+        diverged = False
+
+        it = 0
+        while not converged and it < self.stopping.maxiter:
+            x = self._iterate(state, x)
+            it += 1
+            res = float(np.linalg.norm(A.residual(x, b)))
+            residuals.append(res)
+            if res <= threshold:
+                converged = True
+            elif self.stopping.diverged(res):
+                diverged = True
+                break
+
+        result = SolveResult(
+            x=x,
+            residuals=np.array(residuals),
+            converged=converged,
+            method=self.name,
+            b_norm=b_norm,
+            info={"diverged": diverged},
+        )
+        self._finalize(state, result)
+        return result
+
+    def _finalize(self, state: Any, result: SolveResult) -> None:
+        """Hook for subclasses to attach extra info to the result."""

@@ -1,0 +1,152 @@
+"""Level-scheduled sparse lower-triangular solves.
+
+Gauss-Seidel's forward sweep is a solve with ``L + D``.  The substitution
+recurrence is sequential row by row, but rows whose lower-triangular
+dependencies live in *earlier levels* can be processed together — the
+classic level-scheduling (wavefront) technique from parallel sparse solvers.
+:class:`LevelSchedule` computes the level sets once, :class:`TriangularSweep`
+additionally precomputes the per-level gather structure, so each repeated
+solve runs one vectorized gather/reduce per level instead of one Python
+operation per row (for a 9-point stencil on a 99×99 grid: 295 levels instead
+of 9,801 rows).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._util import check_square, check_vector
+from ..sparse import CSRMatrix
+
+__all__ = ["LevelSchedule", "TriangularSweep", "solve_lower_triangular"]
+
+
+def _concat_ranges(lo: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Vectorized ``concatenate([arange(l, l+c) for l, c in zip(lo, counts)])``."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    keep = counts > 0
+    lo = lo[keep]
+    counts = counts[keep]
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = lo[0]
+    ends = np.cumsum(counts)[:-1]
+    # At each range boundary, jump from the previous range's last value + 1
+    # to the next range's start.
+    steps[ends] = lo[1:] - (lo[:-1] + counts[:-1] - 1)
+    return np.cumsum(steps)
+
+
+class LevelSchedule:
+    """Wavefront schedule for a lower-triangular sparse solve.
+
+    Parameters
+    ----------
+    L:
+        Square CSR matrix; only its strictly-lower-triangular entries define
+        the dependency DAG (anything on or above the diagonal is ignored, so
+        a full system matrix can be passed directly).
+
+    Attributes
+    ----------
+    levels:
+        ``levels[i]`` is the wavefront index of row *i* (longest dependency
+        chain ending at *i*).
+    nlevels:
+        Number of wavefronts — the critical-path length, a parallelism
+        metric in its own right.
+    level_rows:
+        Rows grouped by level (list of index arrays).
+    """
+
+    def __init__(self, L: CSRMatrix):
+        n = check_square(L.shape, "LevelSchedule matrix")
+        strict = L.lower_triangle(strict=True)
+        levels = np.zeros(n, dtype=np.int64)
+        # Fixed-point iteration: levels[i] = 1 + max(levels of lower deps).
+        # Each pass is one vectorized segment-max over the dependency lists;
+        # it converges after `nlevels` passes (the critical path).
+        indptr, indices = strict.indptr, strict.indices
+        starts = indptr[:-1]
+        nonempty = indptr[1:] > starts
+        for _ in range(n + 1):
+            new = np.zeros(n, dtype=np.int64)
+            if len(indices):
+                dep = levels[indices]
+                new[nonempty] = np.maximum.reduceat(dep, starts[nonempty]) + 1
+            if np.array_equal(new, levels):
+                break
+            levels = new
+        else:  # pragma: no cover - cycles are impossible in a triangle
+            raise RuntimeError("level computation failed to converge")
+        self.levels = levels
+        self.nlevels = int(levels.max()) + 1 if n else 0
+        order = np.argsort(levels, kind="stable")
+        counts = np.bincount(levels, minlength=self.nlevels)
+        bounds = np.zeros(self.nlevels + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        self.level_rows: List[np.ndarray] = [
+            order[bounds[k] : bounds[k + 1]] for k in range(self.nlevels)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<LevelSchedule n={len(self.levels)} nlevels={self.nlevels}>"
+
+
+class TriangularSweep:
+    """Reusable solver for ``(D + strict_lower(L)) x = rhs``.
+
+    Precomputes, per wavefront level: the row set, the flattened nonzero
+    positions of those rows' strictly-lower entries, and the segment
+    offsets for the row-wise reduction — so :meth:`solve` performs no
+    structural work at all.
+    """
+
+    def __init__(self, L: CSRMatrix, schedule: Optional[LevelSchedule] = None):
+        n = check_square(L.shape, "TriangularSweep matrix")
+        self.n = n
+        d = L.diagonal()
+        if np.any(d == 0.0):
+            raise ValueError("triangular solve requires a zero-free diagonal")
+        self.diag = d
+        self.schedule = schedule if schedule is not None else LevelSchedule(L)
+        strict = L.lower_triangle(strict=True)
+        indptr = strict.indptr
+        self._plan: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for rows in self.schedule.level_rows:
+            lo = indptr[rows]
+            counts = indptr[rows + 1] - lo
+            flat = _concat_ranges(lo, counts)
+            seg_starts = np.zeros(len(rows), dtype=np.int64)
+            np.cumsum(counts[:-1], out=seg_starts[1:])
+            self._plan.append(
+                (rows, strict.indices[flat], strict.data[flat], seg_starts, counts > 0)
+            )
+
+    def solve(self, rhs: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Forward substitution; *out* (if given) receives the solution."""
+        rhs = check_vector(rhs, self.n, "rhs")
+        x = out if out is not None else np.empty(self.n)
+        for rows, cols, vals, seg_starts, has_deps in self._plan:
+            if len(cols):
+                prod = vals * x[cols]
+                sums = np.zeros(len(rows))
+                sums[has_deps] = np.add.reduceat(prod, seg_starts[has_deps])
+                x[rows] = (rhs[rows] - sums) / self.diag[rows]
+            else:
+                x[rows] = rhs[rows] / self.diag[rows]
+        return x
+
+
+def solve_lower_triangular(
+    L: CSRMatrix,
+    rhs: np.ndarray,
+    *,
+    schedule: Optional[LevelSchedule] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`TriangularSweep`."""
+    return TriangularSweep(L, schedule).solve(rhs, out=out)

@@ -1,0 +1,220 @@
+"""Row-block decomposition of a CSR matrix.
+
+This is the data structure at the heart of the paper's method (§3.3): the
+system is cut into contiguous blocks of rows ("subdomains", one per GPU
+thread block), and every block's rows are split into
+
+* a **diagonal** vector ``d`` (the Jacobi scaling),
+* a **local off-diagonal** part (columns inside the block, diagonal removed)
+  — what the inner Jacobi sweeps iterate against, and
+* an **external** part (columns outside the block) — frozen during local
+  iterations; Eq. (4)'s "global part".
+
+:class:`BlockRowView` precomputes all three per block once, so the
+asynchronous engine's hot loop is nothing but slim vectorized kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .._util import as_index_array, check_square
+from .csr import CSRMatrix
+
+__all__ = ["RowBlock", "BlockRowView", "partition_rows", "partition_rows_by_work"]
+
+
+def partition_rows(n: int, block_size: Optional[int] = None, *, nblocks: Optional[int] = None) -> np.ndarray:
+    """Contiguous partition boundaries for *n* rows.
+
+    Exactly one of *block_size* and *nblocks* must be given.  Returns an
+    ``int64`` array ``[0, b1, ..., n]`` of length ``nblocks + 1``.  With
+    *block_size*, the final block holds the remainder (as a CUDA grid
+    would); with *nblocks*, block sizes are balanced to within one row.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if (block_size is None) == (nblocks is None):
+        raise ValueError("specify exactly one of block_size / nblocks")
+    if block_size is not None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        cuts = np.arange(0, n, block_size, dtype=np.int64)
+        return np.concatenate([cuts, [n]])
+    if nblocks <= 0 or nblocks > n:
+        raise ValueError("nblocks must be in [1, n]")
+    return np.linspace(0, n, nblocks + 1).round().astype(np.int64)
+
+
+def partition_rows_by_work(A: "CSRMatrix", nblocks: int) -> np.ndarray:
+    """Contiguous boundaries balancing *nonzeros* (work) instead of rows.
+
+    A GPU assigns one thread block per row block; when row costs vary
+    (Trefethen's leading rows carry 2 log2(n) entries, the tail far fewer)
+    equal-row blocks make some thread blocks finish much later — the skew
+    behind the §4.1 races.  Equal-work blocks level that out: boundary *k*
+    is placed where the cumulative nnz crosses ``k/nblocks`` of the total.
+    """
+    n = check_square(A.shape, "partition_rows_by_work matrix")
+    if not (1 <= nblocks <= n):
+        raise ValueError("nblocks must be in [1, n]")
+    csum = np.concatenate([[0], np.cumsum(A.row_nnz())]).astype(np.float64)
+    targets = np.linspace(0.0, csum[-1], nblocks + 1)
+    bounds = np.searchsorted(csum, targets, side="left").astype(np.int64)
+    bounds[0], bounds[-1] = 0, n
+    # Strictly increasing: collapse empty blocks onto their neighbours.
+    for k in range(1, nblocks + 1):
+        if bounds[k] <= bounds[k - 1]:
+            bounds[k] = min(bounds[k - 1] + 1, n)
+    bounds[-1] = n
+    if np.any(np.diff(bounds) <= 0):
+        # Degenerate (more blocks than distinct crossings near the end):
+        # fall back to row-balanced boundaries.
+        return partition_rows(n, nblocks=nblocks)
+    return bounds
+
+
+@dataclass
+class RowBlock:
+    """One subdomain: rows ``[start, stop)`` of the system.
+
+    Attributes
+    ----------
+    index:
+        Position of this block in the partition.
+    start, stop:
+        Row range (half-open).
+    diag:
+        Diagonal entries of the block's rows (length ``stop - start``).
+    local_off:
+        CSR with the block's in-block, off-diagonal entries.  Shape is
+        ``(stop - start, n)`` — the full column space — so SpMV against a
+        full-length iterate needs no index translation.
+    external:
+        CSR with the block's out-of-block entries, same shape convention.
+    """
+
+    index: int
+    start: int
+    stop: int
+    diag: np.ndarray
+    local_off: CSRMatrix
+    external: CSRMatrix
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows in this block."""
+        return self.stop - self.start
+
+    @property
+    def rows(self) -> slice:
+        """Row slice of this block in the global numbering."""
+        return slice(self.start, self.stop)
+
+    @property
+    def local_mass(self) -> float:
+        """Sum of |entries| coupling within the block (off-diagonal only)."""
+        return float(np.abs(self.local_off.data).sum())
+
+    @property
+    def external_mass(self) -> float:
+        """Sum of |entries| coupling outside the block."""
+        return float(np.abs(self.external.data).sum())
+
+
+class BlockRowView:
+    """Precomputed row-block decomposition of a square CSR matrix.
+
+    Parameters
+    ----------
+    A:
+        Square :class:`CSRMatrix`.
+    block_size / nblocks / boundaries:
+        Partition specification; *boundaries* (a ``[0, ..., n]`` cut array)
+        wins if given, otherwise the partition is built by
+        :func:`partition_rows`.
+
+    Raises
+    ------
+    ValueError
+        If any diagonal entry inside the partition is exactly zero — Jacobi
+        sweeps would divide by zero.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        block_size: Optional[int] = None,
+        *,
+        nblocks: Optional[int] = None,
+        boundaries: Optional[Sequence[int]] = None,
+    ):
+        n = check_square(A.shape, "BlockRowView matrix")
+        self.matrix = A
+        if boundaries is not None:
+            b = as_index_array(boundaries, "boundaries")
+            if len(b) < 2 or b[0] != 0 or b[-1] != n or np.any(np.diff(b) <= 0):
+                raise ValueError("boundaries must be strictly increasing from 0 to n")
+            self.boundaries = b
+        else:
+            self.boundaries = partition_rows(n, block_size, nblocks=nblocks)
+        self.n = n
+        self.blocks: List[RowBlock] = []
+        for k in range(len(self.boundaries) - 1):
+            start, stop = int(self.boundaries[k]), int(self.boundaries[k + 1])
+            rows = A.row_slice(start, stop)
+            local, external = rows.column_range_split(start, stop)
+            diag_full, local_off = local.split_diagonal()
+            diag = np.zeros(stop - start)
+            # split_diagonal sees the (nrows, n) slice, whose "diagonal" is
+            # entries (i, i) of the slice — i.e. columns [0, nrows) — not the
+            # block's true diagonal (i, start + i).  Extract it directly.
+            block_rows = np.repeat(np.arange(stop - start, dtype=np.int64), local.row_nnz())
+            on_diag = local.indices == (block_rows + start)
+            diag[block_rows[on_diag]] = local.data[on_diag]
+            local_off = local._mask_select(~on_diag)
+            if np.any(diag == 0.0):
+                raise ValueError(
+                    f"block {k} (rows [{start}, {stop})) has zero diagonal entries; "
+                    "Jacobi-type local sweeps are undefined"
+                )
+            self.blocks.append(RowBlock(k, start, stop, diag, local_off, external))
+
+    @property
+    def nblocks(self) -> int:
+        """Number of blocks in the partition."""
+        return len(self.blocks)
+
+    def block_sizes(self) -> np.ndarray:
+        """Row counts per block."""
+        return np.diff(self.boundaries)
+
+    def block_of_row(self, i: int) -> int:
+        """Index of the block owning row *i*."""
+        if not (0 <= i < self.n):
+            raise IndexError(f"row {i} out of range")
+        return int(np.searchsorted(self.boundaries, i, side="right") - 1)
+
+    def off_block_fraction(self) -> float:
+        """Fraction of off-diagonal |mass| that couples across blocks.
+
+        The paper's qualitative predictor (§4.1, §4.3): small values (fv1)
+        mean local iterations capture almost all coupling — low run-to-run
+        variation and large async-(k) gains; large values (Trefethen) mean
+        the opposite.
+        """
+        ext = sum(b.external_mass for b in self.blocks)
+        loc = sum(b.local_mass for b in self.blocks)
+        total = ext + loc
+        return ext / total if total > 0 else 0.0
+
+    def rows_of(self, block_indices: Iterable[int]) -> np.ndarray:
+        """Concatenated row indices of the given blocks."""
+        parts = [np.arange(self.blocks[k].start, self.blocks[k].stop, dtype=np.int64) for k in block_indices]
+        return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BlockRowView n={self.n} nblocks={self.nblocks}>"

@@ -1,0 +1,161 @@
+"""Coordinate-format sparse matrix (builder format).
+
+:class:`COOMatrix` is the assembly format: cheap to append to, easy to
+canonicalise (sort + sum duplicates), and the natural target for matrix
+generators.  Compute happens in CSR (:mod:`repro.sparse.csr`); COO exists to
+be converted.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._util import as_float_array, as_index_array
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """Sparse matrix in coordinate (triplet) format.
+
+    Parameters
+    ----------
+    rows, cols:
+        Integer arrays of row/column indices (any integer dtype).
+    data:
+        Floating values, same length as the index arrays.
+    shape:
+        ``(nrows, ncols)``.  Required — never inferred, so empty matrices and
+        matrices with trailing empty rows are unambiguous.
+
+    Duplicate entries are allowed and are summed by :meth:`canonicalize` (and
+    implicitly by :meth:`tocsr`).
+    """
+
+    __slots__ = ("rows", "cols", "data", "shape", "_canonical")
+
+    def __init__(self, rows, cols, data, shape: Tuple[int, int]):
+        self.rows = as_index_array(rows, "rows")
+        self.cols = as_index_array(cols, "cols")
+        self.data = as_float_array(data, "data")
+        if not (len(self.rows) == len(self.cols) == len(self.data)):
+            raise ValueError(
+                "rows, cols and data must have equal length, got "
+                f"{len(self.rows)}, {len(self.cols)}, {len(self.data)}"
+            )
+        if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+            raise ValueError(f"invalid shape {shape!r}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        if len(self.rows):
+            if self.rows.min() < 0 or self.rows.max() >= self.shape[0]:
+                raise ValueError("row index out of bounds")
+            if self.cols.min() < 0 or self.cols.max() >= self.shape[1]:
+                raise ValueError("column index out of bounds")
+        self._canonical = False
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "COOMatrix":
+        """An all-zero matrix of the given shape."""
+        z = np.zeros(0)
+        return cls(z, z, z, shape)
+
+    @classmethod
+    def from_dense(cls, dense, tol: float = 0.0) -> "COOMatrix":
+        """Extract entries with ``|a_ij| > tol`` from a dense array."""
+        arr = np.asarray(dense, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        r, c = np.nonzero(np.abs(arr) > tol)
+        return cls(r, c, arr[r, c], arr.shape)
+
+    @classmethod
+    def concatenate(cls, parts) -> "COOMatrix":
+        """Sum a sequence of COO matrices of identical shape."""
+        parts = list(parts)
+        if not parts:
+            raise ValueError("need at least one matrix")
+        shape = parts[0].shape
+        for p in parts:
+            if p.shape != shape:
+                raise ValueError("all parts must share a shape")
+        return cls(
+            np.concatenate([p.rows for p in parts]),
+            np.concatenate([p.cols for p in parts]),
+            np.concatenate([p.data for p in parts]),
+            shape,
+        )
+
+    # ------------------------------------------------------------------ #
+    # properties and canonical form
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (may include duplicates before canonicalize)."""
+        return len(self.data)
+
+    def canonicalize(self) -> "COOMatrix":
+        """Return an equivalent matrix with sorted, duplicate-free entries.
+
+        Entries are sorted row-major; duplicates are summed; exact zeros that
+        result from summation are retained (explicit zeros are meaningful for
+        structure-preserving operations).
+        """
+        if self._canonical:
+            return self
+        if self.nnz == 0:
+            out = COOMatrix(self.rows, self.cols, self.data, self.shape)
+            out._canonical = True
+            return out
+        # Row-major ordering key; ncols+1 guard keeps the key collision-free.
+        key = self.rows * (self.shape[1] + 1) + self.cols
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        data = self.data[order]
+        # Segment boundaries between distinct (row, col) keys.
+        first = np.concatenate(([True], key[1:] != key[:-1]))
+        starts = np.flatnonzero(first)
+        summed = np.add.reduceat(data, starts)
+        uk = key[starts]
+        out = COOMatrix(uk // (self.shape[1] + 1), uk % (self.shape[1] + 1), summed, self.shape)
+        out._canonical = True
+        return out
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+
+    def tocsr(self):
+        """Convert to :class:`repro.sparse.CSRMatrix` (canonicalizing first)."""
+        from .csr import CSRMatrix
+
+        c = self.canonicalize()
+        counts = np.bincount(c.rows, minlength=self.shape[0]).astype(np.int64)
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(indptr, c.cols, c.data, self.shape, check=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ``float64`` array (duplicates summed)."""
+        out = np.zeros(self.shape)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    def transpose(self) -> "COOMatrix":
+        """The transposed matrix (entries swapped, not canonicalized)."""
+        return COOMatrix(self.cols, self.rows, self.data, (self.shape[1], self.shape[0]))
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.coo_matrix`` (for interop/tests)."""
+        import scipy.sparse as sp
+
+        return sp.coo_matrix((self.data, (self.rows, self.cols)), shape=self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<COOMatrix {self.shape[0]}x{self.shape[1]} nnz={self.nnz}>"

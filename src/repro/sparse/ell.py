@@ -1,0 +1,204 @@
+"""ELLPACK / sliced-ELLPACK storage — the GPU SpMV formats.
+
+CUDA sparse kernels of the paper's era (and the MAGMA library the method
+later landed in) do not run on CSR: thread-per-row kernels want the
+**ELLPACK** layout, where every row is padded to the same length and the
+entries are stored column-major so that consecutive threads read
+consecutive memory (coalescing).  **SELL-σ** (sliced ELL) bounds the
+padding waste by applying ELL per slice of σ rows.
+
+This module implements both, with CSR round-trips and a vectorized SpMV
+whose loop runs over the *padded width* (the exact loop structure of the
+GPU kernel — each trip is one coalesced column read).  The kernel
+benchmarks compare CSR and ELL SpMV on the suite matrices, and the format
+is used to report the padding-efficiency statistics that decide whether a
+matrix suits thread-per-row execution (regular fv rows: yes; Trefethen's
+log-varying rows: poorly).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["ELLMatrix", "SlicedELLMatrix"]
+
+
+class ELLMatrix:
+    """ELLPACK storage: ``(width, nrows)`` column-major value/index planes.
+
+    Attributes
+    ----------
+    values / col_indices:
+        Arrays of shape ``(width, nrows)``; slot ``[k, i]`` holds row *i*'s
+        k-th entry.  Padding slots carry value 0 and repeat the row's last
+        valid column (a standard trick so gathers stay in bounds without
+        branching).
+    width:
+        max row nonzeros (the padded row length).
+    """
+
+    __slots__ = ("values", "col_indices", "shape", "width", "row_nnz")
+
+    def __init__(self, values: np.ndarray, col_indices: np.ndarray, row_nnz: np.ndarray, shape):
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self.col_indices = np.ascontiguousarray(col_indices, dtype=np.int64)
+        self.row_nnz = np.ascontiguousarray(row_nnz, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.values.shape != self.col_indices.shape:
+            raise ValueError("values and col_indices must have equal shape")
+        if self.values.ndim != 2 or self.values.shape[1] != self.shape[0]:
+            raise ValueError("expected (width, nrows) planes")
+        self.width = self.values.shape[0]
+        if len(self.row_nnz) != self.shape[0]:
+            raise ValueError("row_nnz must have one entry per row")
+        if len(self.row_nnz) and self.row_nnz.max(initial=0) > self.width:
+            raise ValueError("row_nnz exceeds the padded width")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_csr(cls, A: CSRMatrix) -> "ELLMatrix":
+        """Convert a CSR matrix (empty rows pad with column 0)."""
+        m, n = A.shape
+        counts = A.row_nnz()
+        width = int(counts.max(initial=0))
+        values = np.zeros((width, m))
+        cols = np.zeros((width, m), dtype=np.int64)
+        if width:
+            # Scatter each entry to (slot-within-row, row).
+            rows = A._expanded_rows()
+            slot = np.arange(A.nnz, dtype=np.int64) - A.indptr[rows]
+            values[slot, rows] = A.data
+            cols[slot, rows] = A.indices
+            # Padding repeats the last valid column (column 0 for empty rows).
+            for k in range(width):
+                pad = counts <= k
+                if pad.any():
+                    last = np.maximum(counts - 1, 0)
+                    cols[k, pad] = cols[last[pad], np.flatnonzero(pad)]
+        return cls(values, cols, counts, A.shape)
+
+    def to_csr(self) -> CSRMatrix:
+        """Round-trip back to CSR (drops the padding)."""
+        from .coo import COOMatrix
+
+        m = self.shape[0]
+        slots = np.arange(self.width)[:, None]
+        valid = slots < self.row_nnz[None, :]
+        rows = np.broadcast_to(np.arange(m, dtype=np.int64), (self.width, m))[valid]
+        cols = self.col_indices[valid]
+        vals = self.values[valid]
+        return COOMatrix(rows, cols, vals, self.shape).tocsr()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nnz(self) -> int:
+        """Stored (unpadded) entries."""
+        return int(self.row_nnz.sum())
+
+    def padding_efficiency(self) -> float:
+        """nnz / (width × nrows) — the fraction of useful slots.
+
+        Near 1 for regular stencils (fv*: every interior row has 9
+        entries); poor for Trefethen-like log-varying rows, which is why
+        SELL-σ exists.
+        """
+        total = self.width * self.shape[0]
+        return self.nnz / total if total else 1.0
+
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """SpMV with the GPU kernel's loop structure.
+
+        One trip of the Python loop = one coalesced column read of the
+        value/index planes; all rows advance together, exactly as a
+        thread-per-row CUDA kernel does.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x must have shape ({self.shape[1]},), got {x.shape}")
+        y = out if out is not None else np.zeros(self.shape[0])
+        if out is not None:
+            y[:] = 0.0
+        for k in range(self.width):
+            y += self.values[k] * x[self.col_indices[k]]
+        return y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ELLMatrix {self.shape[0]}x{self.shape[1]} width={self.width} "
+            f"efficiency={self.padding_efficiency():.2f}>"
+        )
+
+
+class SlicedELLMatrix:
+    """SELL-σ: ELLPACK applied independently to slices of σ rows.
+
+    Bounds padding waste to the per-slice row-length spread; σ maps to the
+    warp/block height of the GPU kernel (default 32, one warp).
+    """
+
+    __slots__ = ("slices", "slice_height", "shape")
+
+    def __init__(self, slices, slice_height: int, shape):
+        self.slices = list(slices)
+        self.slice_height = int(slice_height)
+        self.shape = (int(shape[0]), int(shape[1]))
+
+    @classmethod
+    def from_csr(cls, A: CSRMatrix, slice_height: int = 32) -> "SlicedELLMatrix":
+        """Slice the matrix and ELL-pack each slice."""
+        if slice_height < 1:
+            raise ValueError("slice_height must be positive")
+        m = A.shape[0]
+        slices = []
+        for start in range(0, m, slice_height):
+            stop = min(start + slice_height, m)
+            slices.append((start, ELLMatrix.from_csr(A.row_slice(start, stop))))
+        return cls(slices, slice_height, A.shape)
+
+    @property
+    def nnz(self) -> int:
+        return sum(e.nnz for _, e in self.slices)
+
+    def padding_efficiency(self) -> float:
+        """Useful-slot fraction over all slices (≥ the plain-ELL value)."""
+        total = sum(e.width * e.shape[0] for _, e in self.slices)
+        return self.nnz / total if total else 1.0
+
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-slice ELL SpMV."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x must have shape ({self.shape[1]},), got {x.shape}")
+        y = out if out is not None else np.empty(self.shape[0])
+        for start, ell in self.slices:
+            y[start : start + ell.shape[0]] = ell.matvec(x)
+        return y
+
+    def to_csr(self) -> CSRMatrix:
+        """Concatenate the slices back into one CSR matrix."""
+        from .coo import COOMatrix
+
+        rows, cols, vals = [], [], []
+        for start, ell in self.slices:
+            c = ell.to_csr()
+            rows.append(c._expanded_rows() + start)
+            cols.append(c.indices)
+            vals.append(c.data)
+        return COOMatrix(
+            np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64),
+            np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64),
+            np.concatenate(vals) if vals else np.zeros(0),
+            self.shape,
+        ).tocsr()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SlicedELLMatrix {self.shape[0]}x{self.shape[1]} "
+            f"sigma={self.slice_height} efficiency={self.padding_efficiency():.2f}>"
+        )

@@ -1,0 +1,101 @@
+"""Tests for convergence theory checks."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    async_convergence_guaranteed,
+    check_well_posedness,
+    is_diagonally_dominant,
+    jacobi_convergence_guaranteed,
+    predicted_iterations,
+)
+from repro.sparse import CSRMatrix
+
+
+def test_diagonal_dominance(small_spd):
+    assert is_diagonally_dominant(small_spd)  # fixture is strictly dominant
+
+
+def test_diagonal_dominance_weak_case():
+    dense = np.array([[2.0, -2.0], [-1.0, 2.0]])
+    A = CSRMatrix.from_dense(dense)
+    assert not is_diagonally_dominant(A, strict=True)
+    assert is_diagonally_dominant(A, strict=False)
+
+
+def test_jacobi_guarantee(small_spd):
+    assert jacobi_convergence_guaranteed(small_spd)
+
+
+def test_jacobi_guarantee_fails_for_divergent():
+    dense = np.array([[1.0, 3.0], [3.0, 1.0]])
+    assert not jacobi_convergence_guaranteed(CSRMatrix.from_dense(dense))
+
+
+def test_async_guarantee_strikwerda(small_spd):
+    # Strict diagonal dominance implies rho(|B|) < 1.
+    assert async_convergence_guaranteed(small_spd)
+
+
+def test_async_guarantee_stricter_than_jacobi():
+    # A matrix where Jacobi converges (rho(B) = 0.870 < 1) but Strikwerda's
+    # condition fails (rho(|B|) = 1.057 > 1): alternating signs cancel in B
+    # but not in |B|.  (Found by search; values rounded, margins re-checked.)
+    off = np.array(
+        [
+            [0.0, -0.380, 0.504, -0.224],
+            [-0.380, 0.0, 0.414, 0.371],
+            [0.504, 0.414, 0.0, 0.186],
+            [-0.224, 0.371, 0.186, 0.0],
+        ]
+    )
+    A = CSRMatrix.from_dense(np.eye(4) - off)  # B = I - A = off, diag(A) = 1
+    assert jacobi_convergence_guaranteed(A)
+    assert not async_convergence_guaranteed(A)
+
+
+def test_predicted_iterations_plain():
+    # rho=0.5, reduce by 1e-6: ceil(log(1e-6)/log(0.5)) = 20.
+    assert predicted_iterations(0.5, 1e-6) == 20
+
+
+def test_predicted_iterations_local_acceleration():
+    base = predicted_iterations(0.9, 1e-8)
+    accel = predicted_iterations(0.9, 1e-8, local_iterations=5, local_coupling=1.0)
+    none = predicted_iterations(0.9, 1e-8, local_iterations=5, local_coupling=0.0)
+    assert accel < base
+    assert none == base  # diagonal local blocks: no gain (Chem97ZtZ case)
+
+
+def test_predicted_iterations_validation():
+    with pytest.raises(ValueError):
+        predicted_iterations(1.0, 1e-6)
+    with pytest.raises(ValueError):
+        predicted_iterations(0.5, 2.0)
+    with pytest.raises(ValueError):
+        predicted_iterations(0.5, 1e-6, local_iterations=0)
+    with pytest.raises(ValueError):
+        predicted_iterations(0.5, 1e-6, local_coupling=2.0)
+
+
+def test_well_posedness_conditions():
+    counts = np.array([5, 5, 5])
+    assert check_well_posedness(counts, sweeps=5)
+    # A starved block breaks condition (1).
+    assert not check_well_posedness(np.array([5, 2, 5]), sweeps=5)
+    # An unbounded shift breaks condition (2).
+    assert not check_well_posedness(counts, sweeps=5, staleness_bound=10)
+    assert check_well_posedness(np.array([]), sweeps=3)
+
+
+def test_well_posedness_from_real_run(small_spd):
+    from repro.core import AsyncConfig, BlockAsyncSolver
+    from repro.solvers import StoppingCriterion
+
+    b = small_spd.matvec(np.ones(60))
+    r = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=0),
+        stopping=StoppingCriterion(tol=0.0, maxiter=12),
+    ).solve(small_spd, b)
+    assert check_well_posedness(r.info["update_counts"], sweeps=12)

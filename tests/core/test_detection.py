@@ -1,0 +1,145 @@
+"""Tests for silent faults and the convergence-anomaly detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import Alert, AsyncConfig, BlockAsyncSolver, FaultScenario, SilentErrorDetector
+from repro.solvers import StoppingCriterion
+
+
+# --------------------------------------------------------------------- #
+# silent fault semantics
+# --------------------------------------------------------------------- #
+
+
+def test_fault_kind_validation():
+    with pytest.raises(ValueError, match="kind"):
+        FaultScenario(kind="loud")
+    with pytest.raises(ValueError, match="corruption"):
+        FaultScenario(kind="silent", corruption=0.0)
+
+
+def test_silent_label():
+    assert FaultScenario(kind="silent", recovery=None).label == "silent, no recovery"
+
+
+def test_silent_fault_prevents_convergence(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    stop = StoppingCriterion(tol=1e-12, maxiter=300)
+    clean = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=1), stopping=stop
+    ).solve(small_spd, b)
+    corrupted = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=1),
+        fault=FaultScenario(fraction=0.2, t0=5, recovery=None, kind="silent", seed=2),
+        stopping=stop,
+    ).solve(small_spd, b)
+    assert clean.converged
+    assert not corrupted.converged
+    assert corrupted.relative_residuals()[-1] > 1e-6
+
+
+def test_silent_fault_with_recovery_converges(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    stop = StoppingCriterion(tol=1e-12, maxiter=600)
+    r = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=1),
+        fault=FaultScenario(fraction=0.2, t0=5, recovery=15, kind="silent", seed=2),
+        stopping=stop,
+    ).solve(small_spd, b)
+    assert r.converged
+
+
+# --------------------------------------------------------------------- #
+# detector unit behaviour
+# --------------------------------------------------------------------- #
+
+
+def geometric_history(rate, n, start=1.0):
+    return start * rate ** np.arange(n)
+
+
+def test_detector_validation():
+    with pytest.raises(ValueError):
+        SilentErrorDetector(window=2)
+    with pytest.raises(ValueError):
+        SilentErrorDetector(window=10, warmup=5)
+    with pytest.raises(ValueError):
+        SilentErrorDetector(rate_tolerance=1.5)
+
+
+def test_quiet_on_clean_geometric_decay():
+    det = SilentErrorDetector(window=5, warmup=10)
+    alerts = det.scan(geometric_history(0.8, 60))
+    assert alerts == []
+    assert det.baseline_rate == pytest.approx(np.log(0.8), rel=1e-6)
+
+
+def test_alert_on_residual_rise():
+    h = np.concatenate([geometric_history(0.8, 30), geometric_history(1.3, 20, start=0.8**30)])
+    det = SilentErrorDetector(window=5, warmup=10)
+    alerts = det.scan(h)
+    assert alerts
+    assert alerts[0].reason == "residual-rise"
+    assert 30 <= alerts[0].iteration <= 36
+
+
+def test_alert_on_stagnation():
+    h = np.concatenate([geometric_history(0.8, 30), np.full(30, 0.8**30)])
+    det = SilentErrorDetector(window=5, warmup=10)
+    alerts = det.scan(h)
+    assert alerts
+    assert alerts[0].reason in ("stagnation", "rate-degradation")
+
+
+def test_alert_on_rate_degradation():
+    h = np.concatenate(
+        [geometric_history(0.7, 30), geometric_history(0.97, 30, start=0.7**30)]
+    )
+    det = SilentErrorDetector(window=5, warmup=10, rate_tolerance=0.5)
+    alerts = det.scan(h)
+    assert alerts
+    assert alerts[0].reason == "rate-degradation"
+
+
+def test_no_alert_at_floor():
+    # Stagnating at machine precision is convergence, not an anomaly.
+    h = np.concatenate([geometric_history(0.5, 60), np.full(30, 0.5**60)])
+    det = SilentErrorDetector(window=5, warmup=10, floor=1e-14)
+    assert det.scan(h) == []
+
+
+def test_handles_nonfinite():
+    h = [1.0] * 12 + [float("inf")] * 3
+    det = SilentErrorDetector(window=5, warmup=10)
+    det.scan(h)  # must not raise
+
+
+# --------------------------------------------------------------------- #
+# end to end: detector catches a silent fault, ignores healthy chaos
+# --------------------------------------------------------------------- #
+
+
+def test_detects_injected_silent_error(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    stop = StoppingCriterion(tol=0.0, maxiter=80)
+    fault = FaultScenario(fraction=0.2, t0=30, recovery=None, kind="silent", seed=2)
+    r = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=1), fault=fault, stopping=stop
+    ).solve(small_spd, b)
+    det = SilentErrorDetector(window=6, warmup=20)
+    alerts = det.scan(r.relative_residuals())
+    assert alerts
+    assert 30 <= alerts[0].iteration <= 45  # caught within ~15 sweeps
+
+
+def test_quiet_on_healthy_async_run(fv1):
+    from repro.experiments.runner import paper_async_config
+    from repro.matrices import default_rhs
+
+    b = default_rhs(fv1)
+    r = BlockAsyncSolver(
+        paper_async_config(5, seed=3), stopping=StoppingCriterion(tol=0.0, maxiter=60)
+    ).solve(fv1, b)
+    det = SilentErrorDetector(window=8, warmup=16)
+    assert det.scan(r.relative_residuals()) == []

@@ -1,0 +1,126 @@
+"""Additional engine edge-case coverage (staleness extremes, deferred
+writes, fault-state refresh, multi-device + fault interactions)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig, BlockAsyncSolver, FaultScenario
+from repro.core.engine import AsyncEngine
+from repro.gpu.multigpu import MultiDeviceEngine
+from repro.solvers import StoppingCriterion
+from repro.sparse import BlockRowView
+
+
+def sweeps(engine, n, count):
+    x = np.zeros(n)
+    for _ in range(count):
+        x = engine.sweep(x)
+    return x
+
+
+def test_stale_prob_zero_is_sequential_gs_flavor(small_spd):
+    # gamma = 1 everywhere: each block reads everything live, in order.
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(
+        local_iterations=1, block_size=10, order="sequential",
+        concurrency=1, stale_read_prob=0.0, seed=0,
+    )
+    view = BlockRowView(small_spd, block_size=10)
+    x = sweeps(AsyncEngine(view, b, cfg), 60, 1)
+    # Block Gauss-Seidel reference.
+    dense = small_spd.to_dense()
+    ref = np.zeros(60)
+    d = np.diag(dense)
+    for k in range(6):
+        rows = slice(10 * k, 10 * (k + 1))
+        s = b[rows] - dense[rows] @ ref + d[rows] * ref[rows]
+        ref[rows] = s / d[rows]
+    assert np.allclose(x, ref, atol=1e-12)
+
+
+def test_deferred_write_prob_partial(small_spd):
+    # 0 < p < 1 must still produce a well-defined, convergent iteration.
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=2, block_size=10, deferred_write_prob=0.5, seed=3)
+    r = BlockAsyncSolver(cfg, stopping=StoppingCriterion(tol=1e-11, maxiter=500)).solve(
+        small_spd, b
+    )
+    assert r.converged
+    assert np.allclose(r.x, 1.0, atol=1e-7)
+
+
+def test_fault_state_refresh_on_recovery(small_spd):
+    # The engine rebuilds its frozen-row cache when the mask switches
+    # on/off; verify via update behaviour before/at/after recovery.
+    b = small_spd.matvec(np.ones(60))
+    fault = FaultScenario(fraction=0.3, t0=2, recovery=3, seed=4)
+    cfg = AsyncConfig(local_iterations=1, block_size=10, seed=0)
+    view = BlockRowView(small_spd, block_size=10)
+    engine = AsyncEngine(view, b, cfg, fault=fault)
+    mask = fault.failed_components(60)
+    x = np.zeros(60)
+    x = engine.sweep(x)  # sweep 0: healthy
+    assert not np.any(x[mask] == 0.0) or x[mask].size == 0
+    frozen_values = None
+    for _ in range(3):  # sweeps 1..3; fault active at 2, 3, 4? (t0=2, tr=3)
+        x = engine.sweep(x)
+    frozen_values = x[mask].copy()
+    x = engine.sweep(x)  # sweep 4: still active (t0=2..t0+3)
+    assert np.array_equal(x[mask], frozen_values)
+    x = engine.sweep(x)  # sweep 5: recovered
+    assert not np.array_equal(x[mask], frozen_values)
+
+
+def test_engine_with_explicit_boundaries(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    view = BlockRowView(small_spd, boundaries=[0, 13, 30, 60])
+    cfg = AsyncConfig(local_iterations=2, block_size=20, seed=1)
+    engine = AsyncEngine(view, b, cfg)
+    x = sweeps(engine, 60, 120)
+    assert np.allclose(x, 1.0, atol=1e-8)
+    assert len(engine.update_counts) == 3
+
+
+def test_multidevice_with_fault(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=2, block_size=10, seed=1)
+    view = BlockRowView(small_spd, block_size=10)
+    fault = FaultScenario(fraction=0.25, t0=3, recovery=None, seed=2)
+    engine = MultiDeviceEngine(view, b, cfg, 2, fault=fault)
+    x = sweeps(engine, 60, 80)
+    mask = fault.failed_components(60)
+    res = np.linalg.norm(small_spd.residual(x, b))
+    assert res > 1e-6  # stagnates, same as single-device
+    assert np.allclose(x[~mask], 1.0, atol=0.2)  # healthy part keeps moving
+
+
+def test_silent_fault_in_multidevice(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=1, block_size=10, seed=1)
+    view = BlockRowView(small_spd, block_size=10)
+    fault = FaultScenario(fraction=0.2, t0=2, recovery=None, kind="silent", seed=2)
+    engine = MultiDeviceEngine(view, b, cfg, 2, fault=fault)
+    x = sweeps(engine, 60, 60)
+    assert np.linalg.norm(small_spd.residual(x, b)) > 1e-8
+
+
+def test_omega_below_one_still_converges(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=1, block_size=10, omega=0.6, seed=0)
+    r = BlockAsyncSolver(cfg, stopping=StoppingCriterion(tol=1e-10, maxiter=2000)).solve(
+        small_spd, b
+    )
+    assert r.converged
+
+
+def test_single_block_system(small_spd):
+    # One block spanning the whole system: pure (local) Jacobi.
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=3, block_size=60, seed=0)
+    r = BlockAsyncSolver(cfg, stopping=StoppingCriterion(tol=1e-10, maxiter=500)).solve(
+        small_spd, b
+    )
+    assert r.converged
+    assert r.info["nblocks"] == 1

@@ -1,0 +1,117 @@
+"""Tests for fault scenarios (paper §4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig, BlockAsyncSolver, FaultScenario
+from repro.solvers import StoppingCriterion
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        FaultScenario(fraction=1.5)
+    with pytest.raises(ValueError):
+        FaultScenario(t0=-1)
+    with pytest.raises(ValueError):
+        FaultScenario(recovery=-5)
+
+
+def test_labels():
+    assert FaultScenario(recovery=20).label == "recover-(20)"
+    assert FaultScenario(recovery=None).label == "no recovery"
+
+
+def test_failed_components_count_and_determinism():
+    f = FaultScenario(fraction=0.25, seed=3)
+    mask = f.failed_components(100)
+    assert mask.sum() == 25
+    assert np.array_equal(mask, f.failed_components(100))
+    g = FaultScenario(fraction=0.25, seed=4)
+    assert not np.array_equal(mask, g.failed_components(100))
+
+
+def test_activity_windows():
+    f = FaultScenario(t0=10, recovery=20)
+    assert not f.is_active(9)
+    assert f.is_active(10)
+    assert f.is_active(29)
+    assert not f.is_active(30)
+    forever = FaultScenario(t0=5, recovery=None)
+    assert forever.is_active(1000)
+
+
+def test_frozen_rows_none_when_inactive():
+    f = FaultScenario(t0=10, recovery=5)
+    assert f.frozen_rows(0, 50) is None
+    assert f.frozen_rows(12, 50) is not None
+    assert f.frozen_rows(15, 50) is None
+
+
+def test_frozen_components_do_not_change(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    fault = FaultScenario(fraction=0.3, t0=0, recovery=None, seed=2)
+    solver = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=1),
+        fault=fault,
+        stopping=StoppingCriterion(tol=0.0, maxiter=10),
+    )
+    r = solver.solve(small_spd, b)
+    mask = fault.failed_components(60)
+    # From a zero initial guess, failed components stay exactly zero.
+    assert np.all(r.x[mask] == 0.0)
+    assert not np.all(r.x[~mask] == 0.0)
+
+
+def test_no_recovery_stagnates(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    fault = FaultScenario(fraction=0.25, t0=3, recovery=None, seed=2)
+    r = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=1),
+        fault=fault,
+        stopping=StoppingCriterion(tol=1e-13, maxiter=300),
+    ).solve(small_spd, b)
+    assert not r.converged
+    # Residual plateau: the last 100 iterations barely move.
+    assert r.residuals[-1] > 0.5 * r.residuals[-100]
+
+
+def test_recovery_restores_no_failure_solution(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    stop = StoppingCriterion(tol=1e-12, maxiter=500)
+    clean = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=1), stopping=stop
+    ).solve(small_spd, b)
+    recovered = BlockAsyncSolver(
+        AsyncConfig(local_iterations=2, block_size=10, seed=1),
+        fault=FaultScenario(fraction=0.25, t0=3, recovery=10, seed=2),
+        stopping=stop,
+    ).solve(small_spd, b)
+    assert recovered.converged
+    assert np.allclose(recovered.x, clean.x, atol=1e-7)
+    # ... with some delay.
+    assert recovered.iterations >= clean.iterations
+
+
+def test_delay_grows_with_recovery_time(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    stop = StoppingCriterion(tol=1e-12, maxiter=800)
+    iters = []
+    for rec in (5, 20, 40):
+        r = BlockAsyncSolver(
+            AsyncConfig(local_iterations=2, block_size=10, seed=1),
+            fault=FaultScenario(fraction=0.25, t0=3, recovery=rec, seed=2),
+            stopping=stop,
+        ).solve(small_spd, b)
+        assert r.converged
+        iters.append(r.iterations)
+    assert iters[0] < iters[1] < iters[2]
+
+
+def test_fault_label_in_result_info(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    r = BlockAsyncSolver(
+        AsyncConfig(block_size=10),
+        fault=FaultScenario(recovery=15),
+        stopping=StoppingCriterion(tol=0.0, maxiter=2),
+    ).solve(small_spd, b)
+    assert r.info["fault"] == "recover-(15)"

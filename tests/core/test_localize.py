@@ -1,0 +1,99 @@
+"""Tests for fault localization (per-block residual ranking)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig, FaultLocalizer, FaultScenario
+from repro.core.engine import AsyncEngine
+from repro.sparse import BlockRowView
+
+
+def run_engine(A, b, view, fault, sweeps, snapshot_at, localizer):
+    engine = AsyncEngine(
+        view, b, AsyncConfig(local_iterations=2, block_size=10, seed=1), fault=fault
+    )
+    x = np.zeros(A.shape[0])
+    for s in range(sweeps):
+        x = engine.sweep(x)
+        if s == snapshot_at:
+            localizer.snapshot(x)
+    return x
+
+
+def test_profile_matches_global_residual(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    view = BlockRowView(small_spd, block_size=10)
+    loc = FaultLocalizer(view, b)
+    x = np.random.default_rng(0).standard_normal(60)
+    prof = loc.profile(x)
+    assert np.isclose(prof.total, np.linalg.norm(small_spd.residual(x, b)))
+    assert np.isclose(prof.shares().sum(), 1.0)
+
+
+def test_profile_shares_zero_residual(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    view = BlockRowView(small_spd, block_size=10)
+    loc = FaultLocalizer(view, b)
+    prof = loc.profile(np.ones(60))
+    assert prof.total < 1e-10
+    # Guarded division: all-zero shares rather than NaN.
+    assert np.all(np.nan_to_num(prof.shares()) <= 1.0)
+
+
+def test_localizes_clustered_freeze(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    view = BlockRowView(small_spd, block_size=10)
+    fault = FaultScenario(fraction=0.17, t0=6, recovery=None, clustered=True, seed=3)
+    loc = FaultLocalizer(view, b)
+    x = run_engine(small_spd, b, view, fault, sweeps=40, snapshot_at=4, localizer=loc)
+    mask = fault.failed_components(60)
+    actual = {view.block_of_row(i) for i in np.flatnonzero(mask)}
+    suspects = set(loc.suspects(x, top=len(actual)))
+    assert suspects & actual  # overlap
+    assert len(suspects & actual) >= max(1, len(actual) - 1)
+
+
+def test_localizes_clustered_silent(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    view = BlockRowView(small_spd, block_size=10)
+    fault = FaultScenario(
+        fraction=0.17, t0=6, recovery=None, kind="silent", clustered=True, seed=3
+    )
+    loc = FaultLocalizer(view, b)
+    x = run_engine(small_spd, b, view, fault, sweeps=40, snapshot_at=4, localizer=loc)
+    mask = fault.failed_components(60)
+    actual = {view.block_of_row(i) for i in np.flatnonzero(mask)}
+    suspects = set(loc.suspects(x, top=len(actual)))
+    assert len(suspects & actual) >= max(1, len(actual) - 1)
+
+
+def test_suspect_components_cover_suspect_blocks(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    view = BlockRowView(small_spd, block_size=10)
+    loc = FaultLocalizer(view, b)
+    x = np.random.default_rng(1).standard_normal(60)
+    blocks = loc.suspects(x, top=2)
+    rows = loc.suspect_components(x, top=2)
+    expected = np.concatenate([np.arange(view.blocks[k].start, view.blocks[k].stop) for k in blocks])
+    assert sorted(rows.tolist()) == sorted(expected.tolist())
+
+
+def test_suspects_validation(small_spd):
+    view = BlockRowView(small_spd, block_size=10)
+    loc = FaultLocalizer(view, np.ones(60))
+    with pytest.raises(ValueError, match="top"):
+        loc.suspects(np.zeros(60), top=0)
+
+
+def test_clustered_mask_is_contiguous():
+    f = FaultScenario(fraction=0.2, clustered=True, seed=5)
+    mask = f.failed_components(100)
+    idx = np.flatnonzero(mask)
+    assert len(idx) == 20
+    assert np.array_equal(idx, np.arange(idx[0], idx[0] + 20))
+
+
+def test_unclustered_mask_is_scattered():
+    f = FaultScenario(fraction=0.2, clustered=False, seed=5)
+    idx = np.flatnonzero(f.failed_components(100))
+    assert not np.array_equal(idx, np.arange(idx[0], idx[0] + len(idx)))

@@ -1,0 +1,100 @@
+"""Smoke + shape tests for the fast experiments.
+
+The heavy experiments (ensembles, Fig. 6/7/9 full panels) are exercised by
+the benchmark harness; here the cheap ones run end to end and the paper's
+qualitative claims are asserted on their outputs.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+# Keep any ensemble-based path tiny if accidentally triggered.
+os.environ.setdefault("REPRO_RUNS", "8")
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return run_experiment("T4")
+
+
+@pytest.fixture(scope="module")
+def f11():
+    return run_experiment("F11")
+
+
+def test_t1_matches_table1_rhos():
+    r = run_experiment("T1")
+    rows = {row[0]: row for row in r.tables[0].rows}
+    for name in ("fv1", "fv3", "Trefethen_2000", "s1rmt3m1", "Chem97ZtZ"):
+        paper_rho, measured_rho = rows[name][7], rows[name][8]
+        assert abs(measured_rho - paper_rho) < 5e-3, name
+
+
+def test_f1_structure_metrics():
+    r = run_experiment("F1")
+    rows = {row[0]: row for row in r.tables[0].rows}
+    assert rows["Chem97ZtZ"][4] == 1.0  # diagonal local blocks
+    assert rows["s1rmt3m1"][3] == 24  # band width of the Gram surrogate
+    assert rows["fv1"][4] > rows["fv1"][5]  # off-block mass falls with block size
+
+
+def test_t4_model_matches_paper(t4):
+    modelled = {row[0]: row[1:] for row in t4.tables[0].rows}
+    paper = {row[0]: row[1:] for row in t4.tables[1].rows}
+    for k, vals in modelled.items():
+        for ours, theirs in zip(vals, paper[k]):
+            assert abs(ours - theirs) / theirs < 0.02
+
+
+def test_t4_measured_monotone_in_k(t4):
+    secs = [row[1] for row in t4.tables[2].rows]
+    assert secs[0] < secs[-1]  # more local iterations cost more
+
+
+def test_f8_shapes():
+    r = run_experiment("F8")
+    s = r.series["fig8_fv3"]
+    gs = s["Gauss-Seidel (CPU)"]
+    jac = s["Jacobi (GPU)"]
+    assert np.allclose(gs, gs[0])  # flat CPU line
+    assert np.all(np.diff(jac) <= 1e-12)  # decaying GPU averages
+    assert jac[0] > 2 * jac[-1]
+
+
+def test_f11_shapes(f11):
+    rows = {row[0]: row[1:] for row in f11.tables[0].rows}
+    amc = rows["AMC"]
+    assert amc[1] < 0.6 * amc[0]  # two GPUs nearly halve
+    assert amc[1] < amc[2] < amc[0]  # three between two and one
+    assert amc[3] < amc[1]  # four best
+    for strat in ("DC", "DK"):
+        vals = rows[strat]
+        assert vals[0] < amc[0]  # direct faster on one GPU
+        assert vals[2] > vals[1]  # degrade past the socket
+
+
+def test_f11_convergence_unaffected(f11):
+    iters = [row[1] for row in f11.tables[1].rows]
+    assert max(iters) - min(iters) <= 2
+
+
+def test_x1_smoother_ordering():
+    r = run_experiment("X1")
+    by_kind = {}
+    for kind, sweeps, _, cf in r.tables[0].rows:
+        if sweeps == 2:
+            by_kind[kind] = cf
+    assert by_kind["gauss-seidel"] <= by_kind["async"] <= by_kind["jacobi"] + 0.02
+    assert all(cf < 0.3 for cf in by_kind.values())
+
+
+def test_x3_rcm_reduces_bandwidth():
+    r = run_experiment("X3")
+    rows = {row[0]: row for row in r.tables[0].rows}
+    assert rows["RCM-reordered"][1] < rows["original"][1]

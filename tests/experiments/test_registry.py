@@ -1,0 +1,31 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+
+
+def test_all_paper_artifacts_registered():
+    expected = {"T1", "F1", "T2", "T3", "F5", "F6", "F7", "T4", "T5", "F8", "F9", "F10", "T6", "F11", "X1", "X2", "X3"}
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_aliases_share_runner():
+    assert get_experiment("T3").runner is get_experiment("T2").runner
+    assert get_experiment("F5").runner is get_experiment("T2").runner
+    assert get_experiment("T6").runner is get_experiment("F10").runner
+
+
+def test_case_insensitive_lookup():
+    assert get_experiment("t1") is get_experiment("T1")
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("T99")
+
+
+def test_runner_signature():
+    for e in set(EXPERIMENTS.values()):
+        assert callable(e.runner)
+        assert e.title

@@ -1,0 +1,79 @@
+"""Tests for report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult, TableArtifact, ascii_table
+from repro.experiments.report import format_value, series_table
+
+
+def test_format_value_kinds():
+    assert format_value(None) == "-"
+    assert format_value("abc") == "abc"
+    assert format_value(5) == "5"
+    assert format_value(True) == "True"
+    assert format_value(0.0) == "0"
+    assert format_value(1.5) == "1.5"
+    assert format_value(3.2e-7) == "3.2000e-07"
+    assert format_value(float("inf")) == "inf"
+    assert format_value(float("nan")) == "nan"
+    assert format_value(np.float64(2.0)) == "2"
+
+
+def test_ascii_table_alignment():
+    out = ascii_table(["a", "bb"], [[1, 2.0], [333, 4.5e-9]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "---" in lines[2]
+    assert len({len(l) for l in lines[1:]}) == 1  # aligned widths
+
+
+def test_ascii_table_row_length_mismatch():
+    with pytest.raises(ValueError, match="cells"):
+        ascii_table(["a", "b"], [[1]])
+
+
+def test_table_artifact_render():
+    t = TableArtifact("title", ["x"], [[1], [2]])
+    out = t.render()
+    assert out.startswith("title")
+    assert "2" in out
+
+
+def test_experiment_result_render():
+    r = ExperimentResult("T9", "demo", [TableArtifact("t", ["x"], [[1]])], {}, ["a note"])
+    out = r.render()
+    assert "=== T9: demo ===" in out
+    assert "note: a note" in out
+
+
+def test_series_table_sampling():
+    x = np.arange(100, dtype=float)
+    t = series_table("s", x, {"y": x * 2}, max_points=5)
+    assert len(t.rows) == 5
+    assert t.rows[0][0] == 0.0
+    assert t.rows[-1][0] == 99.0
+
+
+def test_series_table_validation():
+    with pytest.raises(ValueError, match="length"):
+        series_table("s", np.arange(5.0), {"y": np.arange(4.0)})
+    with pytest.raises(ValueError, match="empty"):
+        series_table("s", np.zeros(0), {})
+
+
+def test_to_dict_and_json_roundtrip():
+    import json
+
+    r = ExperimentResult(
+        "T0",
+        "demo",
+        [TableArtifact("t", ["x", "y"], [[1, np.float64(2.5)], ["s", None]])],
+        {"fig": {"x": np.arange(3.0), "y": np.ones(3)}},
+        ["note"],
+    )
+    data = json.loads(r.to_json())
+    assert data["tables"][0]["rows"][0] == [1, 2.5]
+    assert data["tables"][0]["rows"][1] == ["s", None]
+    assert data["series"]["fig"]["y"] == [1.0, 1.0, 1.0]
+    assert data["notes"] == ["note"]

@@ -1,0 +1,64 @@
+"""Tests for shared experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    FIG6_ITERS,
+    ensemble_runs,
+    is_full_mode,
+    iterations_to_tolerance,
+    pad_history,
+    paper_async_config,
+)
+from repro.solvers.base import SolveResult
+
+
+def test_paper_async_config_occupancy():
+    cfg = paper_async_config(5)
+    assert cfg.local_iterations == 5
+    assert cfg.block_size == 448
+    assert cfg.concurrency == 42  # C2070 occupancy at 448 threads
+
+
+def test_paper_async_config_block128():
+    cfg = paper_async_config(5, block_size=128)
+    assert cfg.concurrency == 168
+
+
+def test_fig6_budgets():
+    assert FIG6_ITERS["fv3"] == 25000  # the paper's extreme panel
+
+
+def test_ensemble_runs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_RUNS", raising=False)
+    assert ensemble_runs(True) == 50
+    assert ensemble_runs(False) == 1000
+    monkeypatch.setenv("REPRO_RUNS", "7")
+    assert ensemble_runs(True) == 7
+
+
+def test_is_full_mode(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert not is_full_mode()
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert is_full_mode()
+
+
+def _result(residuals, b_norm=1.0):
+    return SolveResult(
+        x=np.zeros(1), residuals=np.array(residuals), converged=True, method="t", b_norm=b_norm
+    )
+
+
+def test_iterations_to_tolerance():
+    r = _result([1.0, 0.1, 0.01, 0.001])
+    assert iterations_to_tolerance(r, 0.05) == 2
+    assert iterations_to_tolerance(r, 1e-9) is None
+
+
+def test_pad_history():
+    h = np.array([1.0, 0.5])
+    assert pad_history(h, 4).tolist() == [1.0, 0.5, 0.5, 0.5]
+    assert pad_history(h, 2).tolist() == [1.0, 0.5]
+    assert pad_history(np.arange(5.0), 3).tolist() == [0.0, 1.0, 2.0]

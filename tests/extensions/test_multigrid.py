@@ -1,0 +1,91 @@
+"""Tests for the geometric multigrid extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import MultigridPoisson, SmootherSpec
+
+
+def test_smoother_spec_validation():
+    with pytest.raises(ValueError, match="kind"):
+        SmootherSpec(kind="sor")
+    with pytest.raises(ValueError, match="sweeps"):
+        SmootherSpec(sweeps=-1)
+    with pytest.raises(ValueError, match="omega"):
+        SmootherSpec(omega=0.0)
+
+
+def test_levels_validation():
+    with pytest.raises(ValueError, match="levels"):
+        MultigridPoisson(levels=1)
+
+
+def test_restriction_prolongation_adjoint():
+    # Full weighting is (up to the factor 4) the adjoint of bilinear
+    # interpolation: <R f, c> = <f, P c> / 4.
+    rng = np.random.default_rng(0)
+    nxf, nxc = 15, 7
+    f = rng.standard_normal(nxf * nxf)
+    c = rng.standard_normal(nxc * nxc)
+    Rf = MultigridPoisson.restrict(f, nxf)
+    Pc = MultigridPoisson.prolong(c, nxc)
+    assert np.isclose(Rf @ c, (f @ Pc) / 4.0, rtol=1e-12)
+
+
+def test_prolong_constant_interior():
+    # Bilinear interpolation of a constant is constant away from the
+    # (zero-Dirichlet) boundary.
+    nxc = 7
+    out = MultigridPoisson.prolong(np.ones(nxc * nxc), nxc).reshape(15, 15)
+    assert np.allclose(out[2:-2, 2:-2], 1.0)
+
+
+def test_restrict_constant():
+    nxf = 15
+    out = MultigridPoisson.restrict(np.ones(nxf * nxf), nxf)
+    assert np.allclose(out, 1.0)
+
+
+def test_vcycle_solves_poisson():
+    mg = MultigridPoisson(levels=5)
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(mg.n)
+    x, history = mg.solve(b, tol=1e-10)
+    A = mg.levels[0].A
+    assert history[-1] <= 1e-10 * np.linalg.norm(b)
+    assert np.linalg.norm(A.residual(x, b)) <= 1.1 * history[-1]
+
+
+@pytest.mark.parametrize("kind", ["jacobi", "gauss-seidel", "async"])
+def test_contraction_factors_textbook(kind):
+    mg = MultigridPoisson(levels=5, smoother=SmootherSpec(kind=kind))
+    cf = mg.contraction_factor(cycles=6)
+    assert cf < 0.25, kind  # textbook V(2,2) quality
+
+
+def test_async_between_jacobi_and_gs():
+    factors = {}
+    for kind in ("jacobi", "gauss-seidel", "async"):
+        mg = MultigridPoisson(levels=5, smoother=SmootherSpec(kind=kind))
+        factors[kind] = mg.contraction_factor(cycles=6)
+    assert factors["gauss-seidel"] <= factors["async"] <= factors["jacobi"] + 0.02
+
+
+def test_mesh_independent_convergence():
+    # Multigrid's defining property: contraction roughly level-independent.
+    cf = [
+        MultigridPoisson(levels=l).contraction_factor(cycles=5) for l in (4, 5, 6)
+    ]
+    assert max(cf) < 1.6 * max(min(cf), 0.05)
+
+
+def test_solve_validates_b():
+    mg = MultigridPoisson(levels=4)
+    with pytest.raises(ValueError, match="shape"):
+        mg.solve(np.ones(10))
+
+
+def test_zero_rhs():
+    mg = MultigridPoisson(levels=4)
+    x, history = mg.solve(np.zeros(mg.n))
+    assert np.all(x == 0.0)

@@ -1,0 +1,51 @@
+"""Tests for the multi-GPU topology and interconnect links."""
+
+import pytest
+
+from repro.gpu import GPUClusterSpec, Link, PCIE_GEN2_X16, QPI, SUPERMICRO_4GPU, transfer_time
+
+
+def test_link_time_model():
+    link = Link("t", bandwidth_gbs=1.0, latency_s=1e-5)
+    assert link.time(0) == 1e-5
+    assert link.time(1e9) == pytest.approx(1.0 + 1e-5)
+    assert transfer_time(5e8, link) == pytest.approx(0.5 + 1e-5)
+
+
+def test_link_negative_bytes():
+    with pytest.raises(ValueError):
+        PCIE_GEN2_X16.time(-1)
+
+
+def test_supermicro_layout():
+    # The paper's host: 2 sockets x 2 GPUs.
+    assert SUPERMICRO_4GPU.ngpus == 4
+    assert SUPERMICRO_4GPU.socket_of(0) == 0
+    assert SUPERMICRO_4GPU.socket_of(1) == 0
+    assert SUPERMICRO_4GPU.socket_of(2) == 1
+    assert SUPERMICRO_4GPU.socket_of(3) == 1
+
+
+def test_qpi_crossing():
+    assert not SUPERMICRO_4GPU.crosses_qpi_to_host(0)
+    assert SUPERMICRO_4GPU.crosses_qpi_to_host(2)
+
+
+def test_peer_possible_same_socket_only():
+    # CUDA 4.0: "GPU-GPU communication is only supported for GPUs
+    # connected to the same CPU" (§4.6).
+    assert SUPERMICRO_4GPU.peer_possible(0, 1)
+    assert not SUPERMICRO_4GPU.peer_possible(0, 2)
+    assert SUPERMICRO_4GPU.peer_possible(2, 3)
+
+
+def test_socket_of_bounds():
+    with pytest.raises(ValueError):
+        SUPERMICRO_4GPU.socket_of(4)
+
+
+def test_custom_layout():
+    c = GPUClusterSpec(gpus_per_socket=(1, 3))
+    assert c.ngpus == 4
+    assert c.socket_of(0) == 0
+    assert c.socket_of(3) == 1

@@ -1,0 +1,38 @@
+"""Tests for device specs and occupancy."""
+
+import pytest
+
+from repro.gpu import DeviceSpec, FERMI_C2070, XEON_E5540, occupancy
+
+
+def test_fermi_preset_matches_paper():
+    # §3.2: 14 multiprocessors x 32 CUDA cores @ 1.15 GHz.
+    assert FERMI_C2070.sm_count == 14
+    assert FERMI_C2070.cores_per_sm == 32
+    assert FERMI_C2070.clock_ghz == 1.15
+
+
+def test_flops():
+    assert FERMI_C2070.flops() == pytest.approx(14 * 32 * 1.15e9)
+
+
+def test_xeon_preset():
+    assert XEON_E5540.sm_count == 4  # the paper's 4-core CPU reference
+
+
+def test_occupancy_448_threads():
+    # 1536 threads/SM // 448 = 3 blocks/SM -> 42 resident blocks.
+    assert occupancy(FERMI_C2070, 448) == 42
+
+
+def test_occupancy_128_threads():
+    assert occupancy(FERMI_C2070, 128) == 12 * 14
+
+
+def test_occupancy_huge_blocks_at_least_one_per_sm():
+    assert occupancy(FERMI_C2070, 100000) == 14
+
+
+def test_occupancy_invalid():
+    with pytest.raises(ValueError):
+        occupancy(FERMI_C2070, 0)

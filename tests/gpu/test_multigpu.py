@@ -1,0 +1,135 @@
+"""Tests for the multi-GPU strategies and the multi-device engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig
+from repro.gpu import MultiGPUModel, STRATEGIES
+from repro.gpu.multigpu import MultiDeviceEngine, device_partition
+from repro.sparse import BlockRowView
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MultiGPUModel()
+
+
+# --------------------------------------------------------------------- #
+# device_partition
+# --------------------------------------------------------------------- #
+
+
+def test_partition_balanced():
+    p = device_partition(10, 4)
+    counts = np.bincount(p, minlength=4)
+    assert counts.sum() == 10
+    assert counts.max() - counts.min() <= 1
+    assert np.all(np.diff(p) >= 0)  # contiguous ranges
+
+
+def test_partition_single_gpu():
+    assert np.all(device_partition(7, 1) == 0)
+
+
+def test_partition_invalid():
+    with pytest.raises(ValueError):
+        device_partition(0, 2)
+
+
+# --------------------------------------------------------------------- #
+# timing shapes (the paper's Figure 11)
+# --------------------------------------------------------------------- #
+
+
+def test_amc_halves_with_two_gpus(model):
+    t1 = model.iteration_time("AMC", "Trefethen_20000", 1)
+    t2 = model.iteration_time("AMC", "Trefethen_20000", 2)
+    assert 0.45 <= t2 / t1 <= 0.60  # "total run-time is almost cut in half"
+
+
+def test_amc_three_gpus_slower_than_two(model):
+    t2 = model.iteration_time("AMC", "Trefethen_20000", 2)
+    t3 = model.iteration_time("AMC", "Trefethen_20000", 3)
+    t1 = model.iteration_time("AMC", "Trefethen_20000", 1)
+    assert t3 > t2  # QPI crossing hurts
+    assert t3 < t1  # but still faster than a single GPU
+
+
+def test_amc_four_gpus_beat_two_modestly(model):
+    t2 = model.iteration_time("AMC", "Trefethen_20000", 2)
+    t4 = model.iteration_time("AMC", "Trefethen_20000", 4)
+    assert t4 < t2
+    assert t4 > 0.6 * t2  # "considerably smaller than the factor of two"
+
+
+def test_direct_strategies_faster_on_single_gpu(model):
+    # §4.6: "DC and DK approaches are slightly faster than AMC" at 1 GPU.
+    t_amc = model.iteration_time("AMC", "Trefethen_20000", 1)
+    for strat in ("DC", "DK"):
+        assert model.iteration_time(strat, "Trefethen_20000", 1) < t_amc
+
+
+def test_direct_strategies_only_small_gain_at_two(model):
+    for strat in ("DC", "DK"):
+        t1 = model.iteration_time(strat, "Trefethen_20000", 1)
+        t2 = model.iteration_time(strat, "Trefethen_20000", 2)
+        assert t2 < t1
+        assert t2 > 0.75 * t1  # only a small improvement
+
+
+def test_direct_strategies_degrade_cross_socket(model):
+    for strat in ("DC", "DK"):
+        t2 = model.iteration_time(strat, "Trefethen_20000", 2)
+        t3 = model.iteration_time(strat, "Trefethen_20000", 3)
+        assert t3 > t2
+
+
+def test_time_to_convergence_scales_with_iterations(model):
+    t = model.iteration_time("AMC", "Trefethen_20000", 2)
+    assert model.time_to_convergence("AMC", "Trefethen_20000", 2, 40) == pytest.approx(40 * t)
+
+
+def test_invalid_strategy(model):
+    with pytest.raises(ValueError, match="strategy"):
+        model.iteration_time("XYZ", "Trefethen_20000", 1)
+
+
+def test_invalid_gpu_count(model):
+    with pytest.raises(ValueError, match="ngpus"):
+        model.iteration_time("AMC", "Trefethen_20000", 5)
+
+
+# --------------------------------------------------------------------- #
+# convergence-side multi-device engine
+# --------------------------------------------------------------------- #
+
+
+def test_multidevice_far_split_consistency(small_spd):
+    cfg = AsyncConfig(local_iterations=2, block_size=10, seed=0)
+    view = BlockRowView(small_spd, block_size=10)
+    engine = MultiDeviceEngine(view, np.ones(60), cfg, 3)
+    # near + far must reassemble each block's external part.
+    for bid, blk in enumerate(view.blocks):
+        total = engine._near[bid].to_dense() + engine._far[bid].to_dense()
+        assert np.allclose(total, blk.external.to_dense())
+
+
+def test_multidevice_convergence_close_to_single(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=2, block_size=10, seed=1)
+    results = {}
+    for g in (1, 2, 3):
+        view = BlockRowView(small_spd, block_size=10)
+        engine = MultiDeviceEngine(view, b, cfg, g)
+        x = np.zeros(60)
+        for _ in range(30):
+            x = engine.sweep(x)
+        results[g] = np.linalg.norm(small_spd.residual(x, b))
+    # All device counts converge to (near) the same accuracy.
+    assert all(r < 1e-6 for r in results.values())
+
+
+def test_multidevice_invalid_ngpus(small_spd):
+    view = BlockRowView(small_spd, block_size=10)
+    with pytest.raises(ValueError, match="ngpus"):
+        MultiDeviceEngine(view, np.ones(60), AsyncConfig(block_size=10), 0)

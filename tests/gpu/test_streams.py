@@ -1,0 +1,86 @@
+"""Tests for the discrete-event stream simulator."""
+
+import pytest
+
+from repro.gpu import EventSimulator, Resource, Task
+
+
+def test_independent_tasks_overlap():
+    sim = EventSimulator()
+    a = sim.task("a", 1.0, [Resource("r1")])
+    b = sim.task("b", 2.0, [Resource("r2")])
+    assert sim.run() == 2.0
+    assert a.start == 0.0 and b.start == 0.0
+
+
+def test_shared_resource_serialises():
+    sim = EventSimulator()
+    r = Resource("link")
+    sim.task("a", 1.0, [r])
+    sim.task("b", 2.0, [r])
+    assert sim.run() == 3.0
+
+
+def test_dependencies_respected():
+    sim = EventSimulator()
+    a = sim.task("a", 1.5)
+    b = sim.task("b", 1.0, deps=[a])
+    assert sim.run() == 2.5
+    assert b.start == 1.5
+
+
+def test_dependency_and_resource_combined():
+    sim = EventSimulator()
+    r = Resource("link")
+    a = sim.task("a", 2.0, [r])
+    c = sim.task("c", 0.5)
+    b = sim.task("b", 1.0, [r], deps=[c])  # dep ready at 0.5, link free at 2.0
+    assert sim.run() == 3.0
+    assert b.start == 2.0
+
+
+def test_multi_resource_task():
+    sim = EventSimulator()
+    r1, r2 = Resource("a"), Resource("b")
+    sim.task("x", 1.0, [r1])
+    sim.task("y", 1.0, [r2])
+    sim.task("z", 1.0, [r1, r2])  # needs both -> waits for both
+    assert sim.run() == 2.0
+
+
+def test_unregistered_dependency_rejected():
+    sim = EventSimulator()
+    ghost = Task("ghost", 1.0)
+    with pytest.raises(ValueError, match="not registered"):
+        sim.task("x", 1.0, deps=[ghost])
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        Task("bad", -1.0)
+
+
+def test_timeline_trace():
+    sim = EventSimulator()
+    sim.task("a", 1.0)
+    sim.run()
+    (entry,) = sim.timeline()
+    assert entry == ("a", 0.0, 1.0)
+
+
+def test_empty_simulation():
+    assert EventSimulator().run() == 0.0
+
+
+def test_chain_of_transfers_models_pipeline():
+    # compute -> d2h -> h2d on one link; a second GPU overlaps fully.
+    sim = EventSimulator()
+    link1, link2 = Resource("pcie1"), Resource("pcie2")
+    gpu1, gpu2 = Resource("gpu1"), Resource("gpu2")
+    c1 = sim.task("c1", 3.0, [gpu1])
+    d1 = sim.task("d1", 1.0, [link1], deps=[c1])
+    sim.task("u1", 1.0, [link1], deps=[d1])
+    c2 = sim.task("c2", 3.0, [gpu2])
+    d2 = sim.task("d2", 1.0, [link2], deps=[c2])
+    sim.task("u2", 1.0, [link2], deps=[d2])
+    assert sim.run() == 5.0  # both pipelines in parallel

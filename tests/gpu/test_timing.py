@@ -1,0 +1,119 @@
+"""Tests for the calibrated timing model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import IterationCostModel, PAPER_TABLE5, SetupCostModel
+from repro.gpu.timing import (
+    ASYNC_SETUP_OVERHEAD_S,
+    LOCAL_ITER_FRACTION,
+    PAPER_TABLE4_FV3,
+    async_total_time_fv3,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return IterationCostModel()
+
+
+def test_local_iteration_fraction_below_five_percent():
+    # The paper: "less than 5%" per extra local iteration.
+    assert 0.0 < LOCAL_ITER_FRACTION < 0.05
+
+
+def test_async9_overhead_paper_bound():
+    # "even if we iterate every component locally by 9 Jacobi iterations,
+    #  the overhead is less than 35%" — allow the fit a little slack.
+    assert 8 * LOCAL_ITER_FRACTION < 0.40
+
+
+def test_setup_overhead_positive():
+    assert 0.1 < ASYNC_SETUP_OVERHEAD_S < 0.6
+
+
+def test_table5_reproduced_exactly(model):
+    for name, row in PAPER_TABLE5.items():
+        assert model.per_iteration("gauss-seidel", name) == row.gs_cpu
+        assert model.per_iteration("jacobi", name) == row.jacobi_gpu
+        assert model.per_iteration("async", name, local_iterations=5) == row.async5_gpu
+
+
+def test_table4_reproduced_within_two_percent():
+    for k, pts in PAPER_TABLE4_FV3.items():
+        for iters, paper in pts.items():
+            assert abs(async_total_time_fv3(k, iters) - paper) / paper < 0.02
+
+
+def test_async_k_scaling(model):
+    t1 = model.per_iteration("async", "fv3", local_iterations=1)
+    t9 = model.per_iteration("async", "fv3", local_iterations=9)
+    assert t1 < model.per_iteration("async", "fv3", local_iterations=5) < t9
+    assert t9 / t1 < 1.45  # <35%-ish overhead at k=9
+
+
+def test_cg_cheaper_than_jacobi(model):
+    for name in PAPER_TABLE5:
+        assert model.per_iteration("cg", name) < model.per_iteration("jacobi", name)
+
+
+def test_trefethen_20000_scaled(model):
+    t_small = model.per_iteration("async", "Trefethen_2000")
+    t_big = model.per_iteration("async", "Trefethen_20000")
+    assert np.isclose(t_big / t_small, 554466 / 41906, rtol=1e-6)
+
+
+def test_unknown_matrix_uses_fit(model):
+    t = model.per_iteration("jacobi", (5000, 100000))
+    assert t > 0
+    # Monotone in problem size (the Table 5 data pins the cost to n).
+    assert model.per_iteration("jacobi", (10000, 100000)) > t
+
+
+def test_unknown_name_rejected(model):
+    with pytest.raises(KeyError):
+        model.per_iteration("jacobi", "not_a_matrix")
+
+
+def test_unknown_method_rejected(model):
+    with pytest.raises(ValueError, match="method"):
+        model.per_iteration("sor", "fv1")
+
+
+def test_csr_matrix_input(model, small_spd):
+    assert model.per_iteration("async", small_spd) > 0
+
+
+def test_total_time_with_setup(model):
+    setup = SetupCostModel()
+    t_gs = model.total_time("gauss-seidel", "fv3", 100, setup=setup)
+    assert t_gs == 100 * PAPER_TABLE5["fv3"].gs_cpu  # CPU pays no setup
+    t_async = model.total_time("async", "fv3", 100, setup=setup)
+    assert t_async > 100 * PAPER_TABLE5["fv3"].async5_gpu
+
+
+def test_average_iteration_time_decays(model):
+    setup = SetupCostModel()
+    t10 = model.average_iteration_time("jacobi", "fv3", 10, setup=setup)
+    t200 = model.average_iteration_time("jacobi", "fv3", 200, setup=setup)
+    assert t10 > t200
+    assert t200 > PAPER_TABLE5["fv3"].jacobi_gpu  # still above the kernel floor
+
+
+def test_setup_model_components():
+    s = SetupCostModel(base_s=0.1)
+    t_small = s.setup_time(100, 1000)
+    t_big = s.setup_time(100000, 5000000)
+    assert t_big > t_small > 0.1
+
+
+def test_setup_negative_base_rejected():
+    with pytest.raises(ValueError):
+        SetupCostModel(base_s=-1.0)
+
+
+def test_table4_bad_args():
+    with pytest.raises(ValueError):
+        async_total_time_fv3(0, 100)
+    with pytest.raises(ValueError):
+        async_total_time_fv3(5, -1)

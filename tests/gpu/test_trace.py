@@ -1,0 +1,60 @@
+"""Tests for the Gantt trace renderer."""
+
+from repro.gpu import EventSimulator, Resource
+from repro.gpu.trace import render_gantt
+
+
+def test_empty_simulation():
+    assert "empty" in render_gantt(EventSimulator())
+
+
+def test_rows_grouped_by_resource():
+    sim = EventSimulator()
+    link = Resource("pcie0")
+    gpu = Resource("gpu0")
+    c = sim.task("compute", 2.0, [gpu])
+    sim.task("d2h", 1.0, [link], deps=[c])
+    sim.run()
+    art = render_gantt(sim, width=20)
+    lines = art.splitlines()
+    assert any(l.startswith("gpu0") for l in lines)
+    assert any(l.startswith("pcie0") for l in lines)
+    assert "makespan 3" in lines[0]
+
+
+def test_task_rows_mode():
+    sim = EventSimulator()
+    sim.task("alpha", 1.0)
+    sim.task("beta", 2.0)
+    sim.run()
+    art = render_gantt(sim, by_resource=False, width=10)
+    assert "alpha" in art and "beta" in art
+
+
+def test_serialised_tasks_do_not_overlap_in_chart():
+    sim = EventSimulator()
+    link = Resource("link")
+    sim.task("aa", 1.0, [link])
+    sim.task("bb", 1.0, [link])
+    sim.run()
+    art = render_gantt(sim, width=20)
+    row = next(l for l in art.splitlines() if l.startswith("link"))
+    bar = row.split("|")[1]
+    # First half 'a', second half 'b' (allowing the boundary cell).
+    assert "a" in bar[:10] and "b" in bar[10:]
+
+
+def test_multigpu_model_trace():
+    from repro.gpu import MultiGPUModel
+    from repro.gpu.multigpu import STRATEGIES
+
+    model = MultiGPUModel()
+    for strat in STRATEGIES:
+        art = model.trace(strat, "Trefethen_20000", 2, width=30)
+        assert "makespan" in art
+        assert "gpu0" in art and "pcie0" in art
+    # DC at 2 GPUs: the peer's transfers serialise on the master link —
+    # both d2d tasks appear on the pcie0 row.
+    dc = model.trace("DC", "Trefethen_20000", 2, width=40)
+    pcie0_row = next(l for l in dc.splitlines() if l.startswith("pcie0"))
+    assert "d" in pcie0_row

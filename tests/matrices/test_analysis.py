@@ -1,0 +1,95 @@
+"""Tests for matrix characterization (Table 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import characterize, chem97ztz_like, sparsity_grid
+from repro.matrices.analysis import iteration_matrix, render_sparsity
+from repro.sparse import CSRMatrix
+
+
+def test_iteration_matrix_definition(small_spd):
+    dense = small_spd.to_dense()
+    d = np.diag(dense)
+    expected = np.eye(len(d)) - dense / d[:, None]
+    B = iteration_matrix(small_spd)
+    assert np.allclose(B.to_dense(), expected)
+    assert np.all(B.diagonal() == 0.0)
+
+
+def test_iteration_matrix_absolute(small_spd):
+    B = iteration_matrix(small_spd)
+    Babs = iteration_matrix(small_spd, absolute=True)
+    assert np.allclose(Babs.to_dense(), np.abs(B.to_dense()))
+
+
+def test_iteration_matrix_zero_diagonal():
+    A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+    with pytest.raises(ValueError, match="zero diagonal"):
+        iteration_matrix(A)
+
+
+def test_characterize_small(small_spd):
+    props = characterize(small_spd, "test", block_sizes=(10,))
+    dense = small_spd.to_dense()
+    lam = np.linalg.eigvalsh(dense)
+    assert props.n == 60
+    assert props.nnz == small_spd.nnz
+    assert np.isclose(props.cond_a, lam[-1] / lam[0], rtol=1e-6)
+    assert props.rho_jacobi < 1  # strictly diagonally dominant by fixture
+    assert props.rho_abs >= props.rho_jacobi - 1e-12
+    assert props.diag_dominant_fraction == 1.0
+    assert 10 in props.off_block_fraction
+    assert props.converges_jacobi() and props.converges_async()
+
+
+def test_characterize_skip_cond(small_spd):
+    props = characterize(small_spd, compute_cond=False)
+    assert np.isnan(props.cond_a) and np.isnan(props.cond_scaled)
+
+
+def test_characterize_divergent_matrix():
+    from repro.matrices.structural import banded_gram
+
+    M = banded_gram(300, 4, taper_power=1.0)
+    props = characterize(M, compute_cond=False, block_sizes=())
+    assert props.rho_jacobi > 1.0
+    assert not props.converges_jacobi()
+
+
+def test_rho_abs_dominates_rho():
+    # rho(|B|) >= rho(B) always (Perron-Frobenius).
+    A = chem97ztz_like(n=300)
+    props = characterize(A, compute_cond=False, block_sizes=())
+    assert props.rho_abs >= props.rho_jacobi - 1e-10
+
+
+def test_sparsity_grid_counts(small_spd):
+    grid = sparsity_grid(small_spd, resolution=6)
+    assert grid.sum() == small_spd.nnz
+    assert grid.shape == (6, 6)
+
+
+def test_sparsity_grid_diagonal_matrix():
+    A = CSRMatrix.identity(100)
+    grid = sparsity_grid(A, resolution=10)
+    assert np.array_equal(grid, np.eye(10) * 10)
+
+
+def test_sparsity_grid_invalid_resolution(small_spd):
+    with pytest.raises(ValueError):
+        sparsity_grid(small_spd, resolution=0)
+
+
+def test_render_sparsity_shape(small_spd):
+    art = render_sparsity(small_spd, resolution=8)
+    lines = art.splitlines()
+    assert len(lines) == 8
+    assert all(len(l) == 8 for l in lines)
+
+
+def test_render_sparsity_empty():
+    from repro.sparse import COOMatrix
+
+    art = render_sparsity(COOMatrix.empty((5, 5)).tocsr(), resolution=4)
+    assert set(art) <= {" ", "\n"}

@@ -1,0 +1,78 @@
+"""Tests for the Chem97ZtZ surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import chem97ztz_like
+from repro.matrices.analysis import iteration_matrix
+from repro.sparse import BlockRowView
+from repro.sparse.linalg import spectral_radius
+
+
+def test_paper_dimensions():
+    A = chem97ztz_like()
+    assert A.shape == (2541, 2541)
+    assert A.nnz == 7361  # exactly the paper's Table 1 value
+
+
+def test_paper_rho_exact_by_construction():
+    A = chem97ztz_like()
+    rho = spectral_radius(iteration_matrix(A), method="dense")
+    assert abs(rho - 0.7889) < 1e-10
+
+
+def test_symmetric():
+    A = chem97ztz_like(n=400)
+    dense = A.to_dense()
+    assert np.allclose(dense, dense.T)
+
+
+def test_spd():
+    A = chem97ztz_like(n=300)
+    assert np.linalg.eigvalsh(A.to_dense())[0] > 0
+
+
+def test_local_blocks_are_diagonal():
+    # The defining §4.3 property: couplings are long-range, so diagonal
+    # blocks of a moderate partition contain no off-diagonal entries.
+    A = chem97ztz_like()
+    view = BlockRowView(A, block_size=128)
+    assert view.off_block_fraction() == 1.0
+    for blk in view.blocks:
+        assert blk.local_off.nnz == 0
+
+
+def test_couplings_are_long_range():
+    A = chem97ztz_like()
+    rows = A._expanded_rows()
+    off = rows != A.indices
+    assert np.abs(rows[off] - A.indices[off]).min() >= A.shape[0] // 3
+
+
+def test_custom_rho():
+    A = chem97ztz_like(n=500, rho=0.5)
+    rho = spectral_radius(iteration_matrix(A), method="dense")
+    assert abs(rho - 0.5) < 1e-10
+
+
+def test_custom_nnz():
+    A = chem97ztz_like(n=500, nnz=700)
+    assert A.nnz == 700
+
+
+def test_determinism():
+    A = chem97ztz_like(n=400)
+    B = chem97ztz_like(n=400)
+    assert np.array_equal(A.data, B.data)
+    assert np.array_equal(A.indices, B.indices)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError, match="rho"):
+        chem97ztz_like(n=100, rho=1.2)
+    with pytest.raises(ValueError, match="nnz"):
+        chem97ztz_like(n=100, nnz=50)
+    with pytest.raises(ValueError, match="nnz"):
+        chem97ztz_like(n=100, nnz=101)  # odd off-diagonal count
+    with pytest.raises(ValueError, match="n must be"):
+        chem97ztz_like(n=4)

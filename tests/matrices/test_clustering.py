@@ -1,0 +1,71 @@
+"""Tests for coupling-aware cluster reordering."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import cluster_reorder, fv_like, permute_symmetric
+from repro.sparse import BlockRowView, CSRMatrix
+
+
+def test_is_permutation(small_spd):
+    perm = cluster_reorder(small_spd, 10)
+    assert sorted(perm.tolist()) == list(range(60))
+
+
+def test_deterministic(small_spd):
+    assert np.array_equal(cluster_reorder(small_spd, 10), cluster_reorder(small_spd, 10))
+
+
+def test_recovers_shuffled_grid_locality():
+    # A shuffled 2-D grid has ~all coupling off-block; clustering must
+    # recover most of it.
+    G = fv_like(1, nx=30, coeff_ratio=1.0)
+    rng = np.random.default_rng(0)
+    Gs = permute_symmetric(G, rng.permutation(G.shape[0]))
+    before = BlockRowView(Gs, block_size=100).off_block_fraction()
+    perm = cluster_reorder(Gs, 100)
+    after = BlockRowView(permute_symmetric(Gs, perm), block_size=100).off_block_fraction()
+    assert before > 0.85
+    assert after < 0.35
+
+
+def test_improves_chem_surrogate():
+    from repro.matrices import chem97ztz_like
+
+    A = chem97ztz_like(n=600)
+    before = BlockRowView(A, block_size=64).off_block_fraction()
+    perm = cluster_reorder(A, 64)
+    after = BlockRowView(permute_symmetric(A, perm), block_size=64).off_block_fraction()
+    assert after < before
+
+
+def test_unweighted_mode(small_spd):
+    perm = cluster_reorder(small_spd, 10, weighted=False)
+    assert sorted(perm.tolist()) == list(range(60))
+
+
+def test_handles_disconnected_graph():
+    dense = np.eye(8)
+    dense[0, 1] = dense[1, 0] = 1.0
+    dense[5, 6] = dense[6, 5] = 1.0
+    perm = cluster_reorder(CSRMatrix.from_dense(dense), 3)
+    assert sorted(perm.tolist()) == list(range(8))
+
+
+def test_block_size_one():
+    A = CSRMatrix.identity(5)
+    perm = cluster_reorder(A, 1)
+    assert sorted(perm.tolist()) == list(range(5))
+
+
+def test_invalid_block_size(small_spd):
+    with pytest.raises(ValueError, match="block_size"):
+        cluster_reorder(small_spd, 0)
+
+
+def test_spectrum_preserved(small_spd):
+    perm = cluster_reorder(small_spd, 12)
+    P = permute_symmetric(small_spd, perm)
+    lam_a = np.linalg.eigvalsh(small_spd.to_dense())
+    lam_p = np.linalg.eigvalsh(P.to_dense())
+    assert np.allclose(lam_a, lam_p)

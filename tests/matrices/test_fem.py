@@ -1,0 +1,95 @@
+"""Tests for the fv1/fv2/fv3 reconstructions."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import fv_like
+from repro.matrices.analysis import iteration_matrix
+from repro.matrices.fem import FV_VARIANTS, fv_shift_for_rho, stencil_jacobi_extremes
+from repro.matrices.grids import stencil_laplacian_2d
+from repro.sparse.linalg import spectral_radius
+
+
+def test_analytic_extremes_match_dense():
+    nx = 12
+    L = stencil_laplacian_2d(nx, stencil="9pt")
+    lam = np.linalg.eigvalsh(L.to_dense())
+    lo, hi = stencil_jacobi_extremes(nx)
+    assert np.isclose(lo, lam[0], rtol=1e-10)
+    assert np.isclose(hi, lam[-1], rtol=1e-10)
+
+
+def test_shift_for_rho_places_radius_exactly():
+    nx, target = 20, 0.9
+    c = fv_shift_for_rho(nx, target)
+    A = stencil_laplacian_2d(nx, stencil="9pt", shift=c)
+    rho = spectral_radius(iteration_matrix(A), method="dense")
+    assert abs(rho - target) < 1e-10
+
+
+def test_shift_for_rho_impossible_target():
+    with pytest.raises(ValueError, match="positive definiteness"):
+        fv_shift_for_rho(20, 1.2)
+
+
+@pytest.mark.parametrize("variant", [1, 2, 3])
+def test_paper_dimensions(variant):
+    from repro.matrices import PAPER_TABLE1
+
+    A = fv_like(variant)
+    info = PAPER_TABLE1[f"fv{variant}"]
+    assert A.shape[0] == info.n
+    assert A.nnz == info.nnz
+
+
+@pytest.mark.parametrize("variant,rho", [(1, 0.8541), (3, 0.9993)])
+def test_paper_rho(variant, rho):
+    A = fv_like(variant)
+    measured = spectral_radius(iteration_matrix(A), method="power", tol=1e-12)
+    assert abs(measured - rho) < 2e-4
+
+
+def test_small_custom_variant():
+    A = fv_like(1, nx=16, rho=0.8, coeff_ratio=1.0)
+    assert A.shape == (256, 256)
+    rho = spectral_radius(iteration_matrix(A), method="dense")
+    assert abs(rho - 0.8) < 1e-10
+
+
+def test_symmetry_and_spd_small():
+    A = fv_like(1, nx=14)
+    dense = A.to_dense()
+    assert np.allclose(dense, dense.T)
+    assert np.linalg.eigvalsh(dense)[0] > 0
+
+
+def test_cond_order_of_magnitude():
+    # The jump field should push cond(A) to the Table 1 order (9.3e4).
+    from repro.sparse.linalg import condition_number
+
+    A = fv_like(1)
+    cond = condition_number(A, steps=120)
+    assert 2e4 < cond < 5e5
+
+
+def test_coeff_ratio_one_keeps_constant_diagonal():
+    A = fv_like(1, nx=20, coeff_ratio=1.0)
+    d = A.diagonal()
+    assert np.allclose(d, d[0])
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError, match="variant"):
+        fv_like(4)
+    with pytest.raises(ValueError, match="rho"):
+        fv_like(1, nx=10, rho=1.5)
+    with pytest.raises(ValueError, match="coeff_ratio"):
+        fv_like(1, nx=10, coeff_ratio=0.5)
+    with pytest.raises(ValueError, match="nx"):
+        fv_like(1, nx=1)
+
+
+def test_variant_table_consistency():
+    assert set(FV_VARIANTS) == {1, 2, 3}
+    assert FV_VARIANTS[1].nx == 98
+    assert FV_VARIANTS[2].nx == FV_VARIANTS[3].nx == 99

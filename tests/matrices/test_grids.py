@@ -1,0 +1,116 @@
+"""Tests for 2-D stencil assembly."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import stencil_laplacian_2d
+from repro.matrices.grids import STENCILS
+
+
+def test_5pt_small_matches_reference():
+    A = stencil_laplacian_2d(2, stencil="5pt").to_dense()
+    ref = np.array(
+        [
+            [4.0, -1.0, -1.0, 0.0],
+            [-1.0, 4.0, 0.0, -1.0],
+            [-1.0, 0.0, 4.0, -1.0],
+            [0.0, -1.0, -1.0, 4.0],
+        ]
+    )
+    assert np.allclose(A, ref)
+
+
+def test_9pt_diagonal_constant():
+    A = stencil_laplacian_2d(6, stencil="9pt")
+    assert np.allclose(A.diagonal(), 8.0 / 3.0)
+
+
+def test_9pt_nnz_formula():
+    # 9n minus 3 per boundary edge point minus 5 per corner.
+    for nx in (5, 10, 98):
+        A = stencil_laplacian_2d(nx, stencil="9pt")
+        n = nx * nx
+        expected = 9 * n - 3 * (4 * (nx - 2)) - 5 * 4
+        assert A.nnz == expected
+
+
+def test_9pt_nnz_matches_paper_fv1():
+    assert stencil_laplacian_2d(98, stencil="9pt").nnz == 85264
+    assert stencil_laplacian_2d(99, stencil="9pt").nnz == 87025
+
+
+def test_symmetry():
+    for stencil in ("5pt", "9pt"):
+        A = stencil_laplacian_2d(7, stencil=stencil)
+        dense = A.to_dense()
+        assert np.allclose(dense, dense.T)
+
+
+def test_spd():
+    A = stencil_laplacian_2d(8, stencil="9pt")
+    lam = np.linalg.eigvalsh(A.to_dense())
+    assert lam[0] > 0
+
+
+def test_shift_adds_to_diagonal():
+    A0 = stencil_laplacian_2d(5, stencil="9pt")
+    A1 = stencil_laplacian_2d(5, stencil="9pt", shift=0.5)
+    assert np.allclose(A1.diagonal() - A0.diagonal(), 0.5)
+    d0, off0 = A0.split_diagonal()
+    d1, off1 = A1.split_diagonal()
+    assert np.allclose(off0.to_dense(), off1.to_dense())
+
+
+def test_rectangular_grid():
+    A = stencil_laplacian_2d(4, 7, stencil="5pt")
+    assert A.shape == (28, 28)
+    dense = A.to_dense()
+    assert np.allclose(dense, dense.T)
+
+
+def test_coefficient_field_symmetric_scaling():
+    nx = 6
+    rng = np.random.default_rng(3)
+    coeff = 0.5 + rng.random((nx, nx))
+    A = stencil_laplacian_2d(nx, stencil="9pt", coefficient=coeff)
+    base = stencil_laplacian_2d(nx, stencil="9pt")
+    w = np.sqrt(coeff.ravel())
+    assert np.allclose(A.to_dense(), np.diag(w) @ base.to_dense() @ np.diag(w))
+
+
+def test_coefficient_preserves_jacobi_spectrum():
+    # Symmetric diagonal scaling must not change rho(B).
+    from repro.matrices.analysis import iteration_matrix
+    from repro.sparse.linalg import spectral_radius
+
+    nx = 10
+    rng = np.random.default_rng(4)
+    coeff = np.power(100.0, rng.random((nx, nx)))
+    A = stencil_laplacian_2d(nx, stencil="9pt", shift=0.3)
+    B = stencil_laplacian_2d(nx, stencil="9pt", shift=0.3, coefficient=coeff)
+    assert np.isclose(
+        spectral_radius(iteration_matrix(A)), spectral_radius(iteration_matrix(B)), rtol=1e-8
+    )
+
+
+def test_coefficient_validation():
+    with pytest.raises(ValueError, match="shape"):
+        stencil_laplacian_2d(5, stencil="9pt", coefficient=np.ones((4, 5)))
+    with pytest.raises(ValueError, match="positive"):
+        stencil_laplacian_2d(5, stencil="9pt", coefficient=np.zeros((5, 5)))
+
+
+def test_unknown_stencil():
+    with pytest.raises(ValueError, match="unknown stencil"):
+        stencil_laplacian_2d(5, stencil="13pt")
+
+
+def test_invalid_extent():
+    with pytest.raises(ValueError):
+        stencil_laplacian_2d(0)
+
+
+def test_stencil_registry_row_sums():
+    # Pure Laplacian stencils have zero row sum (constant in the kernel).
+    for name, legs in STENCILS.items():
+        assert abs(sum(legs.values())) < 1e-12, name

@@ -1,0 +1,87 @@
+"""Tests for 3-D stencil assembly."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.grids3d import STENCILS_3D, stencil_laplacian_3d
+
+
+def test_7pt_interior_row():
+    A = stencil_laplacian_3d(3, stencil="7pt").to_dense()
+    center = (1 * 3 + 1) * 3 + 1  # grid point (1,1,1)
+    assert A[center, center] == 6.0
+    assert np.isclose(A[center].sum(), 0.0)  # interior row sums to zero
+    assert (A[center] == -1.0).sum() == 6
+
+
+def test_7pt_symmetric_spd():
+    A = stencil_laplacian_3d(4, stencil="7pt")
+    dense = A.to_dense()
+    assert np.allclose(dense, dense.T)
+    assert np.linalg.eigvalsh(dense)[0] > 0
+
+
+def test_27pt_row_sum_zero_interior():
+    legs = STENCILS_3D["27pt"]
+    assert abs(sum(legs.values())) < 1e-12
+    A = stencil_laplacian_3d(4, stencil="27pt").to_dense()
+    center = (1 * 4 + 1) * 4 + 1
+    assert np.isclose(A[center].sum(), 0.0)
+
+
+def test_27pt_no_face_entries():
+    # The Q1 3-D stencil has zero face coefficients: only edge/corner
+    # neighbours are stored.
+    A = stencil_laplacian_3d(4, stencil="27pt")
+    dense = A.to_dense()
+    center = (1 * 4 + 1) * 4 + 1
+    face = (2 * 4 + 1) * 4 + 1  # +x neighbour
+    assert dense[center, face] == 0.0
+    corner = (2 * 4 + 2) * 4 + 2
+    assert np.isclose(dense[center, corner], -1.0 / 12.0)
+
+
+def test_27pt_spd():
+    A = stencil_laplacian_3d(4, stencil="27pt", shift=1e-9)
+    lam = np.linalg.eigvalsh(A.to_dense())
+    assert lam[0] > 0
+
+
+def test_rectangular_box():
+    A = stencil_laplacian_3d(2, 3, 4, stencil="7pt")
+    assert A.shape == (24, 24)
+
+
+def test_shift_and_coefficient():
+    rng = np.random.default_rng(0)
+    coeff = 0.5 + rng.random((3, 3, 3))
+    A0 = stencil_laplacian_3d(3, stencil="7pt", shift=0.7)
+    A1 = stencil_laplacian_3d(3, stencil="7pt", shift=0.7, coefficient=coeff)
+    w = np.sqrt(coeff.ravel())
+    assert np.allclose(A1.to_dense(), np.diag(w) @ A0.to_dense() @ np.diag(w))
+
+
+def test_block_structure_planes():
+    # Lexicographic 3-D: row blocks of nz*ny rows = whole x-slabs; the
+    # off-block mass is exactly the slab-to-slab coupling.
+    from repro.sparse import BlockRowView
+
+    nx = 6
+    A = stencil_laplacian_3d(nx, stencil="7pt", shift=0.5)
+    slab = nx * nx  # one x-slab of rows
+    view = BlockRowView(A, block_size=slab)
+    # Each slab couples only to adjacent slabs: 2 entries per interior row.
+    interior = view.blocks[nx // 2]
+    per_row = interior.external.nnz / interior.nrows
+    assert per_row == pytest.approx(2.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="extents"):
+        stencil_laplacian_3d(0)
+    with pytest.raises(ValueError, match="stencil"):
+        stencil_laplacian_3d(3, stencil="9pt")
+    with pytest.raises(ValueError, match="shape"):
+        stencil_laplacian_3d(3, coefficient=np.ones((2, 3, 3)))
+    with pytest.raises(ValueError, match="positive"):
+        stencil_laplacian_3d(3, coefficient=np.zeros((3, 3, 3)))

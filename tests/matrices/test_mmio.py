@@ -1,0 +1,114 @@
+"""Tests for MatrixMarket I/O."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import read_matrix_market, write_matrix_market
+from repro.sparse import CSRMatrix
+
+
+def test_roundtrip(tmp_path, rng):
+    dense = rng.standard_normal((9, 7))
+    dense[np.abs(dense) < 0.9] = 0.0
+    A = CSRMatrix.from_dense(dense)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, A, comment="roundtrip test\nsecond line")
+    B = read_matrix_market(path)
+    assert np.array_equal(B.to_dense(), dense)
+
+
+def test_roundtrip_exact_values(tmp_path):
+    # repr-based writing must preserve doubles bit-exactly.
+    dense = np.array([[np.pi, 0.0], [0.0, 1.0 / 3.0]])
+    A = CSRMatrix.from_dense(dense)
+    path = tmp_path / "exact.mtx"
+    write_matrix_market(path, A)
+    B = read_matrix_market(path)
+    assert np.array_equal(B.to_dense(), dense)
+
+
+def test_read_symmetric_expansion(tmp_path):
+    text = """%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 5.0
+"""
+    path = tmp_path / "sym.mtx"
+    path.write_text(text)
+    A = read_matrix_market(path)
+    dense = A.to_dense()
+    assert dense[0, 1] == -1.0 and dense[1, 0] == -1.0
+    assert np.allclose(dense, dense.T)
+    assert A.nnz == 5
+
+
+def test_read_pattern(tmp_path):
+    text = """%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 2
+2 3
+"""
+    path = tmp_path / "pat.mtx"
+    path.write_text(text)
+    A = read_matrix_market(path)
+    assert A.to_dense()[0, 1] == 1.0
+    assert A.to_dense()[1, 2] == 1.0
+
+
+def test_read_integer_field(tmp_path):
+    text = """%%MatrixMarket matrix coordinate integer general
+2 2 1
+1 1 7
+"""
+    path = tmp_path / "int.mtx"
+    path.write_text(text)
+    assert read_matrix_market(path).to_dense()[0, 0] == 7.0
+
+
+def test_read_empty_matrix(tmp_path):
+    text = """%%MatrixMarket matrix coordinate real general
+4 5 0
+"""
+    path = tmp_path / "empty.mtx"
+    path.write_text(text)
+    A = read_matrix_market(path)
+    assert A.shape == (4, 5)
+    assert A.nnz == 0
+
+
+def test_bad_header(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%NotMatrixMarket\n1 1 0\n")
+    with pytest.raises(ValueError, match="header"):
+        read_matrix_market(path)
+
+
+def test_unsupported_format(tmp_path):
+    path = tmp_path / "arr.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+    with pytest.raises(ValueError, match="coordinate"):
+        read_matrix_market(path)
+
+
+def test_unsupported_symmetry(tmp_path):
+    path = tmp_path / "skew.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1.0\n")
+    with pytest.raises(ValueError, match="symmetry"):
+        read_matrix_market(path)
+
+
+def test_symmetric_upper_entries_rejected(tmp_path):
+    path = tmp_path / "badsym.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0\n")
+    with pytest.raises(ValueError, match="lower triangle"):
+        read_matrix_market(path)
+
+
+def test_wrong_entry_count(tmp_path):
+    path = tmp_path / "short.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+    with pytest.raises(ValueError, match="expected 2 entries"):
+        read_matrix_market(path)

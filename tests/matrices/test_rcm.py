@@ -1,0 +1,79 @@
+"""Tests for reverse Cuthill-McKee reordering."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import bandwidth, permute_symmetric, reverse_cuthill_mckee
+from repro.matrices.grids import stencil_laplacian_2d
+from repro.sparse import CSRMatrix
+
+
+def random_sym(rng, n=40, density=0.08):
+    dense = rng.standard_normal((n, n))
+    dense[np.abs(dense) < np.quantile(np.abs(dense), 1 - density)] = 0.0
+    dense = dense + dense.T
+    np.fill_diagonal(dense, 1.0)
+    return CSRMatrix.from_dense(dense)
+
+
+def test_bandwidth_diagonal():
+    assert bandwidth(CSRMatrix.identity(5)) == 0
+
+
+def test_bandwidth_known():
+    dense = np.eye(6)
+    dense[0, 4] = 1.0
+    assert bandwidth(CSRMatrix.from_dense(dense)) == 4
+
+
+def test_rcm_is_permutation(rng):
+    A = random_sym(rng)
+    perm = reverse_cuthill_mckee(A)
+    assert sorted(perm.tolist()) == list(range(A.shape[0]))
+
+
+def test_rcm_reduces_bandwidth_on_shuffled_grid(rng):
+    A = stencil_laplacian_2d(12, stencil="5pt")
+    n = A.shape[0]
+    shuffle = rng.permutation(n)
+    shuffled = permute_symmetric(A, shuffle)
+    perm = reverse_cuthill_mckee(shuffled)
+    restored = permute_symmetric(shuffled, perm)
+    assert bandwidth(restored) < bandwidth(shuffled)
+    assert bandwidth(restored) <= 2 * 12  # grid-like band recovered
+
+
+def test_rcm_deterministic(rng):
+    A = random_sym(rng)
+    assert np.array_equal(reverse_cuthill_mckee(A), reverse_cuthill_mckee(A))
+
+
+def test_rcm_handles_disconnected_components():
+    dense = np.zeros((6, 6))
+    dense[0, 1] = dense[1, 0] = 1.0
+    dense[4, 5] = dense[5, 4] = 1.0
+    np.fill_diagonal(dense, 1.0)
+    perm = reverse_cuthill_mckee(CSRMatrix.from_dense(dense))
+    assert sorted(perm.tolist()) == list(range(6))
+
+
+def test_permute_symmetric_correctness(rng):
+    A = random_sym(rng, n=15)
+    perm = rng.permutation(15)
+    P = permute_symmetric(A, perm)
+    dense = A.to_dense()
+    assert np.allclose(P.to_dense(), dense[np.ix_(perm, perm)])
+
+
+def test_permute_preserves_spectrum(rng):
+    A = random_sym(rng, n=20)
+    perm = rng.permutation(20)
+    lam_a = np.linalg.eigvalsh(A.to_dense())
+    lam_p = np.linalg.eigvalsh(permute_symmetric(A, perm).to_dense())
+    assert np.allclose(lam_a, lam_p)
+
+
+def test_permute_invalid():
+    A = CSRMatrix.identity(4)
+    with pytest.raises(ValueError, match="permutation"):
+        permute_symmetric(A, [0, 1, 1, 3])

@@ -1,0 +1,36 @@
+"""Cross-validation of our RCM against networkx's implementation."""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.matrices import bandwidth, permute_symmetric, reverse_cuthill_mckee
+from repro.matrices.grids import stencil_laplacian_2d
+from repro.sparse import CSRMatrix
+
+
+def nx_rcm_bandwidth(A):
+    G = networkx.from_scipy_sparse_array(A.to_scipy())
+    order = list(networkx.utils.cuthill_mckee_ordering(G))[::-1]
+    return bandwidth(permute_symmetric(A, np.array(order)))
+
+
+def test_comparable_bandwidth_on_shuffled_grid(rng):
+    A = stencil_laplacian_2d(10, stencil="5pt")
+    shuffled = permute_symmetric(A, rng.permutation(A.shape[0]))
+    ours = bandwidth(permute_symmetric(shuffled, reverse_cuthill_mckee(shuffled)))
+    theirs = nx_rcm_bandwidth(shuffled)
+    # Both are heuristics; ours must land in the same bandwidth class.
+    assert ours <= 2 * max(theirs, 1)
+
+
+def test_comparable_bandwidth_on_random_graph(rng):
+    dense = rng.standard_normal((60, 60))
+    dense[np.abs(dense) < 1.6] = 0.0
+    dense = dense + dense.T
+    np.fill_diagonal(dense, 1.0)
+    A = CSRMatrix.from_dense(dense)
+    ours = bandwidth(permute_symmetric(A, reverse_cuthill_mckee(A)))
+    theirs = nx_rcm_bandwidth(A)
+    assert ours <= 2 * max(theirs, 1)

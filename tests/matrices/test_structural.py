@@ -1,0 +1,99 @@
+"""Tests for the s1rmt3m1 surrogate (ρ(B) > 1, ill-conditioned SPD)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.structural import (
+    banded_gram,
+    calibrate_taper_power,
+    gram_jacobi_radius,
+    s1rmt3m1_like,
+)
+from repro.sparse.linalg import lanczos_extreme_eigenvalues
+
+
+def test_banded_gram_symmetric_banded():
+    M = banded_gram(200, 5)
+    dense = M.to_dense()
+    assert np.allclose(dense, dense.T)
+    rows, cols = np.nonzero(dense)
+    assert np.abs(rows - cols).max() <= 10  # band 2*half_band
+
+
+def test_banded_gram_psd():
+    M = banded_gram(150, 4, eps=1e-8)
+    lam = np.linalg.eigvalsh(M.to_dense())
+    assert lam[0] > 0
+
+
+def test_banded_gram_matches_explicit_product():
+    # Reconstruct F explicitly with the same RNG stream and compare F F^T.
+    n, hb, p, eps, seed = 60, 3, 1.3, 0.0, 42
+    M = banded_gram(n, hb, taper_power=p, eps=eps, seed=seed)
+    rng = np.random.default_rng(seed)
+    F = np.zeros((n, n))
+    for d in range(-hb, hb + 1):
+        taper = (1.0 + abs(d)) ** -p
+        vals = taper * rng.standard_normal(n)
+        idx = np.arange(max(0, -d), min(n, n - d))
+        F[idx, idx + d] = vals[idx]
+    assert np.allclose(M.to_dense(), F @ F.T, atol=1e-12)
+
+
+def test_banded_gram_validation():
+    with pytest.raises(ValueError, match="band"):
+        banded_gram(10, 8)
+    with pytest.raises(ValueError, match="taper_power"):
+        banded_gram(100, 4, taper_power=0.0)
+    with pytest.raises(ValueError, match="eps"):
+        banded_gram(100, 4, eps=-1.0)
+
+
+def test_default_matrix_properties():
+    A = s1rmt3m1_like()
+    assert A.shape == (5489, 5489)
+    # ~49 nnz/row (the paper's 262,411 corresponds to ~47.8).
+    assert 260000 < A.nnz < 275000
+    rho = gram_jacobi_radius(A)
+    assert abs(rho - 2.65) < 5e-3
+    lmin, lmax = lanczos_extreme_eigenvalues(A, steps=80, seed=3)
+    assert lmin > 0  # SPD despite rho(B) > 1
+
+
+def test_ill_conditioning():
+    from repro.sparse.linalg import condition_number
+
+    A = s1rmt3m1_like()
+    assert condition_number(A, steps=80) > 1e5
+
+
+def test_calibration_small():
+    n, hb, target = 600, 4, 2.2
+    p = calibrate_taper_power(n, hb, target, iterations=12)
+    M = banded_gram(n, hb, taper_power=p)
+    assert abs(gram_jacobi_radius(M) - target) < 0.02
+
+
+def test_calibration_unreachable_target():
+    with pytest.raises(ValueError, match="achievable"):
+        calibrate_taper_power(400, 3, 50.0, iterations=4)
+
+
+def test_custom_rho_triggers_calibration():
+    A = s1rmt3m1_like(n=600, half_band=4, rho=2.1)
+    assert abs(gram_jacobi_radius(A) - 2.1) < 0.02
+
+
+def test_invalid_rho():
+    with pytest.raises(ValueError, match="rho"):
+        s1rmt3m1_like(rho=-1.0)
+
+
+def test_jacobi_diverges_on_default():
+    from repro.matrices import default_rhs
+    from repro.solvers import JacobiSolver, StoppingCriterion
+
+    A = s1rmt3m1_like()
+    b = default_rhs(A)
+    r = JacobiSolver(stopping=StoppingCriterion(tol=1e-12, maxiter=60)).solve(A, b)
+    assert r.relative_residuals()[-1] > r.relative_residuals()[0]

@@ -1,0 +1,75 @@
+"""Tests for the suite registry and right-hand sides."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import PAPER_TABLE1, SUITE_NAMES, default_rhs, get_matrix
+
+
+def test_suite_names_complete():
+    assert set(SUITE_NAMES) == {
+        "Chem97ZtZ",
+        "fv1",
+        "fv2",
+        "fv3",
+        "s1rmt3m1",
+        "Trefethen_2000",
+        "Trefethen_20000",
+    }
+
+
+def test_paper_table1_values():
+    assert PAPER_TABLE1["fv1"].n == 9604
+    assert PAPER_TABLE1["fv1"].nnz == 85264
+    assert PAPER_TABLE1["s1rmt3m1"].rho == 2.65
+    assert not PAPER_TABLE1["s1rmt3m1"].jacobi_convergent
+    assert PAPER_TABLE1["Trefethen_20000"].jacobi_convergent
+
+
+@pytest.mark.parametrize("name", ["Chem97ZtZ", "fv1", "fv2", "Trefethen_2000"])
+def test_get_matrix_dimensions(name):
+    A = get_matrix(name)
+    info = PAPER_TABLE1[name]
+    assert A.shape == (info.n, info.n)
+    if name != "fv2":  # fv2/fv3 nnz identical; checked in matrix tests
+        assert A.nnz == info.nnz
+
+
+def test_get_matrix_cached():
+    a = get_matrix("Chem97ZtZ")
+    b = get_matrix("Chem97ZtZ")
+    assert a is b
+
+
+def test_get_matrix_no_cache_fresh():
+    a = get_matrix("Chem97ZtZ")
+    b = get_matrix("Chem97ZtZ", cache=False)
+    assert a is not b
+    assert np.array_equal(a.data, b.data)
+
+
+def test_get_matrix_unknown():
+    with pytest.raises(KeyError, match="unknown suite matrix"):
+        get_matrix("nosuch")
+
+
+def test_default_rhs_ones(fv1):
+    b = default_rhs(fv1)
+    assert np.allclose(b, fv1.matvec(np.ones(fv1.shape[0])))
+
+
+def test_default_rhs_random_seeded(fv1):
+    b1 = default_rhs(fv1, kind="random", seed=3)
+    b2 = default_rhs(fv1, kind="random", seed=3)
+    b3 = default_rhs(fv1, kind="random", seed=4)
+    assert np.array_equal(b1, b2)
+    assert not np.array_equal(b1, b3)
+
+
+def test_default_rhs_unit(fv1):
+    assert np.all(default_rhs(fv1, kind="unit") == 1.0)
+
+
+def test_default_rhs_unknown_kind(fv1):
+    with pytest.raises(ValueError, match="rhs kind"):
+        default_rhs(fv1, kind="zeros")

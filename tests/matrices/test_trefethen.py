@@ -1,0 +1,80 @@
+"""Tests for the exact Trefethen reconstruction and the prime sieve."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import primes, trefethen
+from repro.matrices.analysis import iteration_matrix
+from repro.sparse.linalg import spectral_radius
+
+
+def test_primes_first_values():
+    assert primes(10).tolist() == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+
+def test_primes_small_counts():
+    assert primes(0).tolist() == []
+    assert primes(1).tolist() == [2]
+    assert primes(5).tolist() == [2, 3, 5, 7, 11]
+
+
+def test_primes_large_count():
+    p = primes(20000)
+    assert len(p) == 20000
+    assert p[-1] == 224737  # the 20000th prime
+    assert np.all(np.diff(p) > 0)
+
+
+def test_primes_negative():
+    with pytest.raises(ValueError):
+        primes(-1)
+
+
+def test_trefethen_structure_small():
+    A = trefethen(8)
+    dense = A.to_dense()
+    assert np.allclose(np.diag(dense), [2, 3, 5, 7, 11, 13, 17, 19])
+    # offsets 1, 2, 4 present; 3 absent
+    assert dense[0, 1] == 1.0 and dense[0, 2] == 1.0 and dense[0, 4] == 1.0
+    assert dense[0, 3] == 0.0
+    assert np.allclose(dense, dense.T)
+
+
+def test_trefethen_paper_nnz_2000():
+    A = trefethen(2000)
+    assert A.shape == (2000, 2000)
+    assert A.nnz == 41906  # exactly the paper's Table 1 value
+
+
+def test_trefethen_nnz_formula():
+    # nnz = n + 2 * sum_{2^k < n} (n - 2^k)
+    for n in (17, 100, 513):
+        A = trefethen(n)
+        expected = n
+        off = 1
+        while off < n:
+            expected += 2 * (n - off)
+            off *= 2
+        assert A.nnz == expected
+
+
+def test_trefethen_rho_matches_paper():
+    A = trefethen(2000)
+    rho = spectral_radius(iteration_matrix(A))
+    assert abs(rho - 0.8601) < 5e-4  # Table 1 prints 0.8601
+
+
+def test_trefethen_spd():
+    A = trefethen(300)
+    lam = np.linalg.eigvalsh(A.to_dense())
+    assert lam[0] > 0
+
+
+def test_trefethen_invalid_n():
+    with pytest.raises(ValueError):
+        trefethen(0)
+
+
+def test_trefethen_n1():
+    A = trefethen(1)
+    assert A.to_dense().tolist() == [[2.0]]

@@ -1,0 +1,97 @@
+"""Tests for the Conjugate Gradient solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import ConjugateGradientSolver, StoppingCriterion
+from repro.sparse import CSRMatrix
+
+
+def test_exact_in_n_iterations():
+    # CG terminates in at most n steps in exact arithmetic.
+    rng = np.random.default_rng(0)
+    n = 12
+    m = rng.standard_normal((n, n))
+    dense = m @ m.T + n * np.eye(n)
+    A = CSRMatrix.from_dense(dense)
+    b = rng.standard_normal(n)
+    r = ConjugateGradientSolver(stopping=StoppingCriterion(tol=1e-12, maxiter=n + 2)).solve(A, b)
+    assert r.converged
+    assert np.allclose(dense @ r.x, b, atol=1e-8)
+
+
+def test_converges_on_suite_matrix(trefethen_small):
+    A = trefethen_small
+    x_star = np.cos(np.arange(A.shape[0], dtype=float))
+    b = A.matvec(x_star)
+    r = ConjugateGradientSolver(stopping=StoppingCriterion(tol=1e-13, maxiter=500)).solve(A, b)
+    assert r.converged
+    assert np.allclose(r.x, x_star, atol=1e-8)
+
+
+def test_matches_scipy(small_spd):
+    import scipy.sparse.linalg as spla
+
+    b = small_spd.matvec(np.ones(60))
+    ours = ConjugateGradientSolver(stopping=StoppingCriterion(tol=1e-12, maxiter=300)).solve(
+        small_spd, b
+    )
+    ref, info = spla.cg(small_spd.to_scipy(), b, rtol=1e-12, maxiter=300)
+    assert info == 0
+    assert np.allclose(ours.x, ref, atol=1e-8)
+
+
+def test_diagonal_preconditioner_reduces_iterations():
+    # Strongly scaled diagonal: Jacobi preconditioning should help a lot.
+    rng = np.random.default_rng(3)
+    n = 80
+    d = np.logspace(0, 5, n)
+    dense = np.diag(d)
+    off = rng.standard_normal((n, n)) * 0.01
+    dense += (off + off.T) * np.sqrt(np.outer(d, d))
+    A = CSRMatrix.from_dense(dense)
+    b = dense @ np.ones(n)
+    stop = StoppingCriterion(tol=1e-10, maxiter=2000)
+    plain = ConjugateGradientSolver(stopping=stop).solve(A, b)
+    inv_d = 1.0 / A.diagonal()
+    pcg = ConjugateGradientSolver(preconditioner=lambda r: inv_d * r, stopping=stop).solve(A, b)
+    assert pcg.converged
+    assert pcg.iterations < plain.iterations
+
+
+def test_breakdown_on_indefinite():
+    A = CSRMatrix.from_dense(np.diag([1.0, -1.0]))
+    r = ConjugateGradientSolver(stopping=StoppingCriterion(maxiter=10)).solve(A, np.ones(2))
+    assert r.info["breakdown"] or not r.converged
+
+
+def test_zero_rhs_immediate():
+    A = CSRMatrix.identity(5)
+    r = ConjugateGradientSolver().solve(A, np.zeros(5))
+    assert r.converged
+    assert r.iterations == 0
+
+
+def test_x0_nonzero(small_spd):
+    x_star = np.ones(60)
+    b = small_spd.matvec(x_star)
+    r = ConjugateGradientSolver(stopping=StoppingCriterion(tol=1e-12, maxiter=200)).solve(
+        small_spd, b, x0=0.9 * x_star
+    )
+    assert r.converged
+    assert np.allclose(r.x, x_star, atol=1e-8)
+
+
+def test_residual_history_recorded(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    r = ConjugateGradientSolver(stopping=StoppingCriterion(tol=1e-12, maxiter=100)).solve(
+        small_spd, b
+    )
+    assert len(r.residuals) == r.iterations + 1
+    # Recorded residuals are true residuals, not the recurrence estimate.
+    assert np.isclose(r.residuals[-1], np.linalg.norm(small_spd.residual(r.x, b)))
+
+
+def test_name_tags():
+    assert ConjugateGradientSolver().name == "cg"
+    assert ConjugateGradientSolver(preconditioner=lambda r: r).name == "pcg"

@@ -1,0 +1,74 @@
+"""Tests for the Chebyshev semi-iteration."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import fv_like
+from repro.solvers import ChebyshevSolver, JacobiSolver, StoppingCriterion
+
+
+@pytest.fixture(scope="module")
+def system():
+    A = fv_like(1, nx=24, coeff_ratio=1.0)
+    return A, A.matvec(np.ones(A.shape[0]))
+
+
+def test_converges(system):
+    A, b = system
+    r = ChebyshevSolver(stopping=StoppingCriterion(tol=1e-10, maxiter=2000)).solve(A, b)
+    assert r.converged
+    assert np.allclose(A.matvec(r.x), b, atol=1e-5)
+
+
+def test_beats_jacobi(system):
+    A, b = system
+    stop = StoppingCriterion(tol=1e-10, maxiter=2000)
+    it_cheb = ChebyshevSolver(stopping=stop).solve(A, b).iterations
+    it_jac = JacobiSolver(stopping=stop).solve(A, b).iterations
+    assert it_cheb < 0.5 * it_jac  # the sqrt(kappa) acceleration
+
+
+def test_rate_matches_prediction(system):
+    A, b = system
+    solver = ChebyshevSolver(stopping=StoppingCriterion(tol=0.0, maxiter=60))
+    r = solver.solve(A, b)
+    rel = r.relative_residuals()
+    measured = (rel[-1] / rel[10]) ** (1.0 / 50)
+    assert abs(measured - solver.predicted_rate()) < 0.06
+
+
+def test_explicit_bounds(system):
+    A, b = system
+    # Exact bounds of D^-1 A for the constant-diagonal stencil.
+    from repro.matrices.fem import stencil_jacobi_extremes, fv_shift_for_rho
+
+    c = fv_shift_for_rho(24, 0.8541)
+    lo, hi = stencil_jacobi_extremes(24)
+    d0 = 8.0 / 3.0 + c
+    solver = ChebyshevSolver(
+        lambda_min=(lo + c) / d0, lambda_max=(hi + c) / d0,
+        stopping=StoppingCriterion(tol=1e-10, maxiter=2000),
+    )
+    r = solver.solve(A, b)
+    assert r.converged
+
+
+def test_predicted_rate_requires_bounds():
+    with pytest.raises(ValueError, match="bounds"):
+        ChebyshevSolver().predicted_rate()
+
+
+def test_bounds_validation():
+    with pytest.raises(ValueError, match="both"):
+        ChebyshevSolver(lambda_min=0.1)
+    with pytest.raises(ValueError, match="lambda"):
+        ChebyshevSolver(lambda_min=-1.0, lambda_max=2.0)
+
+
+def test_positive_diagonal_required():
+    from repro.sparse import CSRMatrix
+
+    A = CSRMatrix.from_dense(np.diag([1.0, -2.0]))
+    solver = ChebyshevSolver(lambda_min=0.5, lambda_max=1.5)
+    with pytest.raises(ValueError, match="diagonal"):
+        solver.solve(A, np.ones(2))

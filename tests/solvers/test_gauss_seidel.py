@@ -1,0 +1,121 @@
+"""Tests for Gauss-Seidel and SOR."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import GaussSeidelSolver, JacobiSolver, SORSolver, StoppingCriterion
+from repro.sparse import CSRMatrix
+
+
+def reference_gs_sweep(dense, b, x):
+    """Textbook sequential forward Gauss-Seidel sweep."""
+    n = len(b)
+    x = x.copy()
+    for i in range(n):
+        s = dense[i] @ x - dense[i, i] * x[i]
+        x[i] = (b[i] - s) / dense[i, i]
+    return x
+
+
+def reference_sor_sweep(dense, b, x, omega):
+    n = len(b)
+    x = x.copy()
+    for i in range(n):
+        s = dense[i] @ x - dense[i, i] * x[i]
+        gs = (b[i] - s) / dense[i, i]
+        x[i] = (1 - omega) * x[i] + omega * gs
+    return x
+
+
+def test_gs_matches_sequential_reference(small_spd):
+    dense = small_spd.to_dense()
+    b = dense @ np.linspace(-1, 1, 60)
+    r = GaussSeidelSolver(stopping=StoppingCriterion(tol=0.0, maxiter=3)).solve(small_spd, b)
+    x = np.zeros(60)
+    for _ in range(3):
+        x = reference_gs_sweep(dense, b, x)
+    assert np.allclose(r.x, x, atol=1e-12)
+
+
+def test_sor_matches_sequential_reference(small_spd):
+    dense = small_spd.to_dense()
+    b = dense @ np.linspace(-1, 1, 60)
+    omega = 1.3
+    r = SORSolver(omega=omega, stopping=StoppingCriterion(tol=0.0, maxiter=4)).solve(small_spd, b)
+    x = np.zeros(60)
+    for _ in range(4):
+        x = reference_sor_sweep(dense, b, x, omega)
+    assert np.allclose(r.x, x, atol=1e-11)
+
+
+def test_gs_equals_sor_omega_one(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    stop = StoppingCriterion(tol=0.0, maxiter=5)
+    rg = GaussSeidelSolver(stopping=stop).solve(small_spd, b)
+    rs = SORSolver(omega=1.0, stopping=stop).solve(small_spd, b)
+    assert np.allclose(rg.x, rs.x, atol=1e-14)
+
+
+def test_gs_converges(small_spd):
+    x_star = np.sin(np.arange(60.0))
+    b = small_spd.matvec(x_star)
+    r = GaussSeidelSolver(stopping=StoppingCriterion(tol=1e-13, maxiter=500)).solve(small_spd, b)
+    assert r.converged
+    assert np.allclose(r.x, x_star, atol=1e-8)
+
+
+def test_gs_faster_than_jacobi_on_grid():
+    # Classical result: GS rate ~ rho_J^2 on consistently ordered systems.
+    from repro.matrices import fv_like
+
+    A = fv_like(1, nx=24, coeff_ratio=1.0)
+    b = A.matvec(np.ones(A.shape[0]))
+    stop = StoppingCriterion(tol=1e-11, maxiter=2000)
+    itg = GaussSeidelSolver(stopping=stop).solve(A, b).iterations
+    itj = JacobiSolver(stopping=stop).solve(A, b).iterations
+    assert itg < itj
+    assert itg < 0.65 * itj  # close to the 2x classical speedup
+
+
+def test_sor_optimal_omega_beats_gs():
+    # On a Laplacian-like SPD system there is an omega in (1, 2) beating GS.
+    from repro.matrices import fv_like
+
+    A = fv_like(1, nx=20, coeff_ratio=1.0)
+    b = A.matvec(np.ones(A.shape[0]))
+    stop = StoppingCriterion(tol=1e-11, maxiter=3000)
+    itg = GaussSeidelSolver(stopping=stop).solve(A, b).iterations
+    best = min(
+        SORSolver(omega=w, stopping=stop).solve(A, b).iterations for w in (1.3, 1.5, 1.7)
+    )
+    assert best < itg
+
+
+def test_sor_invalid_omega():
+    for w in (0.0, 2.0, -1.0, 2.5):
+        with pytest.raises(ValueError, match="omega"):
+            SORSolver(omega=w)
+
+
+def test_zero_diagonal_rejected():
+    A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+    with pytest.raises(ValueError, match="diagonal"):
+        GaussSeidelSolver().solve(A, np.ones(2))
+
+
+def test_gs_matches_scipy_splitting(small_spd):
+    # One GS iteration is (D+L)^-1 (b - U x), verified via scipy dense solve.
+    import scipy.linalg
+
+    dense = small_spd.to_dense()
+    b = dense @ np.ones(60)
+    L = np.tril(dense)
+    U = np.triu(dense, 1)
+    x = scipy.linalg.solve_triangular(L, b - U @ np.zeros(60), lower=True)
+    r = GaussSeidelSolver(stopping=StoppingCriterion(tol=0.0, maxiter=1)).solve(small_spd, b)
+    assert np.allclose(r.x, x, atol=1e-12)
+
+
+def test_names():
+    assert GaussSeidelSolver().name == "gauss-seidel"
+    assert "1.4" in SORSolver(omega=1.4).name

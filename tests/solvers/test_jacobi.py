@@ -1,0 +1,74 @@
+"""Tests for the Jacobi solver."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.analysis import iteration_matrix
+from repro.solvers import JacobiSolver, StoppingCriterion
+from repro.sparse import CSRMatrix
+from repro.sparse.linalg import spectral_radius
+
+
+def test_converges_to_solution(small_spd):
+    x_star = np.arange(60, dtype=float)
+    b = small_spd.matvec(x_star)
+    r = JacobiSolver(stopping=StoppingCriterion(tol=1e-13, maxiter=2000)).solve(small_spd, b)
+    assert r.converged
+    assert np.allclose(r.x, x_star, atol=1e-8)
+
+
+def test_one_step_matches_formula(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    r = JacobiSolver(stopping=StoppingCriterion(tol=0.0, maxiter=1)).solve(small_spd, b)
+    d = small_spd.diagonal()
+    expected = b / d  # from x0 = 0
+    assert np.allclose(r.x, expected)
+
+
+def test_error_contracts_at_spectral_rate(trefethen_small):
+    A = trefethen_small
+    rho = spectral_radius(iteration_matrix(A), method="dense")
+    b = A.matvec(np.ones(A.shape[0]))
+    r = JacobiSolver(stopping=StoppingCriterion(tol=0.0, maxiter=120)).solve(A, b)
+    rate = (r.residuals[-1] / r.residuals[20]) ** (1.0 / 100)
+    assert rate < rho + 0.02  # asymptotic contraction no worse than rho
+
+
+def test_weighted_jacobi_damps():
+    # On the 5-point Laplacian, omega=2/3 damps high frequencies faster,
+    # but plain Jacobi has the better overall radius; both must converge.
+    from repro.matrices.grids import stencil_laplacian_2d
+
+    A = stencil_laplacian_2d(10, stencil="5pt", shift=0.5)
+    b = A.matvec(np.ones(100))
+    for omega in (1.0, 2.0 / 3.0):
+        r = JacobiSolver(omega=omega, stopping=StoppingCriterion(tol=1e-12, maxiter=500)).solve(A, b)
+        assert r.converged, omega
+
+
+def test_omega_name_tag():
+    assert JacobiSolver().name == "jacobi"
+    assert "0.5" in JacobiSolver(omega=0.5).name
+
+
+def test_invalid_omega():
+    with pytest.raises(ValueError, match="omega"):
+        JacobiSolver(omega=0.0)
+
+
+def test_zero_diagonal_rejected():
+    A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+    with pytest.raises(ValueError, match="diagonal"):
+        JacobiSolver().solve(A, np.ones(2))
+
+
+def test_matches_dense_reference_iteration(small_spd):
+    # x_{k+1} = D^-1 (b - (A - D) x_k), iterated densely.
+    dense = small_spd.to_dense()
+    d = np.diag(dense)
+    b = dense @ np.linspace(0, 1, 60)
+    x = np.zeros(60)
+    for _ in range(7):
+        x = (b - (dense - np.diag(d)) @ x) / d
+    r = JacobiSolver(stopping=StoppingCriterion(tol=0.0, maxiter=7)).solve(small_spd, b)
+    assert np.allclose(r.x, x, atol=1e-12)

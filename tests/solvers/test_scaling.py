@@ -1,0 +1,64 @@
+"""Tests for the τ-scaling remedy (paper §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.structural import banded_gram, gram_jacobi_radius
+from repro.solvers import JacobiSolver, StoppingCriterion, estimate_tau, tau_scaling
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def divergent_spd():
+    """A small SPD system with rho(B) > 1 but moderate conditioning."""
+    return banded_gram(400, 4, taper_power=1.0, eps=1e-2, seed=5)
+
+
+def test_estimate_tau_formula(divergent_spd):
+    ts = estimate_tau(divergent_spd, steps=120)
+    d = divergent_spd.diagonal()
+    w = 1.0 / np.sqrt(d)
+    sym = np.diag(w) @ divergent_spd.to_dense() @ np.diag(w)
+    lam = np.linalg.eigvalsh(sym)
+    # Lanczos estimates converge to the extremes from inside the spectrum.
+    assert lam[0] - 1e-10 <= ts.lambda_min <= 3.0 * lam[0]
+    assert np.isclose(ts.lambda_max, lam[-1], rtol=1e-3)
+    assert np.isclose(ts.tau, 2.0 / (ts.lambda_min + ts.lambda_max), rtol=1e-12)
+
+
+def test_predicted_rho(divergent_spd):
+    ts = estimate_tau(divergent_spd, steps=120)
+    assert 0 < ts.predicted_rho < 1
+
+
+def test_tau_restores_convergence(divergent_spd):
+    A = divergent_spd
+    assert gram_jacobi_radius(A) > 1.0  # plain Jacobi diverges
+    b = A.matvec(np.ones(A.shape[0]))
+    stop = StoppingCriterion(tol=1e-10, maxiter=4000)
+    plain = JacobiSolver(stopping=StoppingCriterion(maxiter=60)).solve(A, b)
+    assert plain.relative_residuals()[-1] > 1.0
+    tau = tau_scaling(A, steps=120)
+    damped = JacobiSolver(omega=tau, stopping=stop).solve(A, b)
+    assert damped.converged
+
+
+def test_tau_rate_matches_prediction(divergent_spd):
+    A = divergent_spd
+    ts = estimate_tau(A, steps=120)
+    b = A.matvec(np.ones(A.shape[0]))
+    r = JacobiSolver(omega=ts.tau, stopping=StoppingCriterion(tol=0.0, maxiter=300)).solve(A, b)
+    rate = (r.residuals[-1] / r.residuals[100]) ** (1.0 / 200)
+    assert rate < ts.predicted_rho + 0.02
+
+
+def test_estimate_tau_requires_positive_diagonal():
+    A = CSRMatrix.from_dense(np.diag([1.0, -2.0]))
+    with pytest.raises(ValueError, match="positive diagonal"):
+        estimate_tau(A)
+
+
+def test_estimate_tau_rejects_indefinite():
+    dense = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+    with pytest.raises(ValueError, match="SPD"):
+        estimate_tau(CSRMatrix.from_dense(dense))

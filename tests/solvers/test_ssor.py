@@ -1,0 +1,59 @@
+"""Tests for the SSOR solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import GaussSeidelSolver, SSORSolver, StoppingCriterion
+
+
+def reference_ssor_sweep(dense, b, x, omega):
+    """Textbook forward + backward SOR sweeps."""
+    n = len(b)
+    x = x.copy()
+    for i in range(n):
+        s = dense[i] @ x - dense[i, i] * x[i]
+        x[i] = (1 - omega) * x[i] + omega * (b[i] - s) / dense[i, i]
+    for i in range(n - 1, -1, -1):
+        s = dense[i] @ x - dense[i, i] * x[i]
+        x[i] = (1 - omega) * x[i] + omega * (b[i] - s) / dense[i, i]
+    return x
+
+
+@pytest.mark.parametrize("omega", [1.0, 1.4])
+def test_matches_sequential_reference(small_spd, omega):
+    dense = small_spd.to_dense()
+    b = dense @ np.linspace(-1, 1, 60)
+    r = SSORSolver(omega=omega, stopping=StoppingCriterion(tol=0.0, maxiter=3)).solve(small_spd, b)
+    x = np.zeros(60)
+    for _ in range(3):
+        x = reference_ssor_sweep(dense, b, x, omega)
+    assert np.allclose(r.x, x, atol=1e-11)
+
+
+def test_converges(small_spd):
+    x_star = np.cos(np.arange(60.0))
+    b = small_spd.matvec(x_star)
+    r = SSORSolver(stopping=StoppingCriterion(tol=1e-13, maxiter=500)).solve(small_spd, b)
+    assert r.converged
+    assert np.allclose(r.x, x_star, atol=1e-8)
+
+
+def test_fewer_iterations_than_gs(small_spd):
+    # Each SSOR iteration does two sweeps, so it needs at most about half
+    # the iterations of plain GS.
+    b = small_spd.matvec(np.ones(60))
+    stop = StoppingCriterion(tol=1e-11, maxiter=1000)
+    it_ssor = SSORSolver(stopping=stop).solve(small_spd, b).iterations
+    it_gs = GaussSeidelSolver(stopping=stop).solve(small_spd, b).iterations
+    assert it_ssor <= it_gs
+
+
+def test_invalid_omega():
+    for w in (0.0, 2.0):
+        with pytest.raises(ValueError, match="omega"):
+            SSORSolver(omega=w)
+
+
+def test_name():
+    assert SSORSolver().name == "ssor"
+    assert "1.3" in SSORSolver(omega=1.3).name

@@ -1,0 +1,161 @@
+"""Tests for level scheduling and triangular sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import LevelSchedule, solve_lower_triangular
+from repro.solvers.triangular import TriangularSweep, _concat_ranges
+from repro.sparse import CSRMatrix
+
+
+def lower_system(rng, n=30, density=0.2):
+    dense = rng.standard_normal((n, n))
+    dense = np.tril(dense, -1)
+    dense[np.abs(dense) < np.quantile(np.abs(dense[dense != 0]), 1 - density) if (dense != 0).any() else 0] = 0.0
+    np.fill_diagonal(dense, rng.standard_normal(n) + 4.0)
+    return CSRMatrix.from_dense(dense), dense
+
+
+# --------------------------------------------------------------------- #
+# _concat_ranges
+# --------------------------------------------------------------------- #
+
+
+def test_concat_ranges_basic():
+    out = _concat_ranges(np.array([2, 10, 5]), np.array([3, 2, 1]))
+    assert out.tolist() == [2, 3, 4, 10, 11, 5]
+
+
+def test_concat_ranges_with_empty():
+    out = _concat_ranges(np.array([2, 7, 9]), np.array([2, 0, 1]))
+    assert out.tolist() == [2, 3, 9]
+
+
+def test_concat_ranges_all_empty():
+    assert _concat_ranges(np.array([1, 2]), np.array([0, 0])).size == 0
+
+
+# --------------------------------------------------------------------- #
+# LevelSchedule
+# --------------------------------------------------------------------- #
+
+
+def test_levels_diagonal_matrix():
+    sched = LevelSchedule(CSRMatrix.identity(5))
+    assert sched.nlevels == 1
+    assert np.all(sched.levels == 0)
+
+
+def test_levels_bidiagonal_chain():
+    dense = np.eye(6) + np.diag(np.ones(5), -1)
+    sched = LevelSchedule(CSRMatrix.from_dense(dense))
+    assert sched.nlevels == 6
+    assert np.array_equal(sched.levels, np.arange(6))
+
+
+def test_levels_respect_dependencies(rng):
+    A, dense = lower_system(rng)
+    sched = LevelSchedule(A)
+    strict = np.tril(dense, -1)
+    for i in range(30):
+        for j in range(i):
+            if strict[i, j] != 0:
+                assert sched.levels[j] < sched.levels[i]
+
+
+def test_level_rows_partition(rng):
+    A, _ = lower_system(rng)
+    sched = LevelSchedule(A)
+    seen = np.concatenate(sched.level_rows)
+    assert sorted(seen.tolist()) == list(range(30))
+
+
+def test_levels_grid_wavefronts():
+    # 9-point stencil on an m x m grid: level(i,j) = 2i + j.
+    from repro.matrices.grids import stencil_laplacian_2d
+
+    m = 7
+    A = stencil_laplacian_2d(m, stencil="9pt")
+    sched = LevelSchedule(A)
+    expected = np.array([2 * i + j for i in range(m) for j in range(m)])
+    assert np.array_equal(sched.levels, expected)
+    assert sched.nlevels == 3 * m - 2
+
+
+def test_upper_entries_ignored(rng):
+    A, dense = lower_system(rng)
+    with_upper = CSRMatrix.from_dense(dense + np.triu(np.ones((30, 30)), 1))
+    assert np.array_equal(LevelSchedule(A).levels, LevelSchedule(with_upper).levels)
+
+
+# --------------------------------------------------------------------- #
+# solves
+# --------------------------------------------------------------------- #
+
+
+def test_solve_matches_numpy(rng):
+    A, dense = lower_system(rng)
+    rhs = rng.standard_normal(30)
+    x = solve_lower_triangular(A, rhs)
+    assert np.allclose(np.tril(dense) @ x, rhs)
+
+
+def test_solve_ignores_upper_triangle(rng):
+    A, dense = lower_system(rng)
+    noisy = CSRMatrix.from_dense(dense + np.triu(rng.standard_normal((30, 30)), 1))
+    rhs = rng.standard_normal(30)
+    assert np.allclose(solve_lower_triangular(noisy, rhs), solve_lower_triangular(A, rhs))
+
+
+def test_sweep_reusable(rng):
+    A, dense = lower_system(rng)
+    sweep = TriangularSweep(A)
+    for seed in range(3):
+        rhs = np.random.default_rng(seed).standard_normal(30)
+        x = sweep.solve(rhs)
+        assert np.allclose(np.tril(dense) @ x, rhs)
+
+
+def test_sweep_out_parameter(rng):
+    A, dense = lower_system(rng)
+    sweep = TriangularSweep(A)
+    rhs = rng.standard_normal(30)
+    out = np.empty(30)
+    x = sweep.solve(rhs, out=out)
+    assert x is out
+
+
+def test_sweep_inplace_rhs_alias_safe(rng):
+    # Solving with out=x where x initially holds the rhs must NOT be done;
+    # but out distinct from rhs while x prefilled is fine.
+    A, dense = lower_system(rng)
+    sweep = TriangularSweep(A)
+    rhs = rng.standard_normal(30)
+    out = rng.standard_normal(30)  # garbage prefill
+    x = sweep.solve(rhs, out=out)
+    assert np.allclose(np.tril(dense) @ x, rhs)
+
+
+def test_zero_diagonal_rejected():
+    dense = np.tril(np.ones((3, 3)))
+    dense[1, 1] = 0.0
+    with pytest.raises(ValueError, match="diagonal"):
+        TriangularSweep(CSRMatrix.from_dense(dense))
+
+
+def test_diagonal_only_system():
+    A = CSRMatrix.diagonal_matrix([2.0, 4.0, 8.0])
+    x = solve_lower_triangular(A, np.array([2.0, 4.0, 8.0]))
+    assert np.allclose(x, 1.0)
+
+
+def test_dense_lower_triangle(rng):
+    # Fully dense lower triangle: n levels, fully sequential.
+    n = 25
+    dense = np.tril(rng.standard_normal((n, n)), -1)
+    np.fill_diagonal(dense, 3.0)
+    A = CSRMatrix.from_dense(dense)
+    sched = LevelSchedule(A)
+    assert sched.nlevels == n
+    rhs = rng.standard_normal(n)
+    assert np.allclose(dense @ solve_lower_triangular(A, rhs), rhs)

@@ -1,0 +1,136 @@
+"""Unit tests for the COO builder format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def test_basic_construction():
+    m = COOMatrix([0, 1], [1, 2], [3.0, 4.0], (2, 3))
+    assert m.shape == (2, 3)
+    assert m.nnz == 2
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="equal length"):
+        COOMatrix([0, 1], [1], [3.0, 4.0], (2, 3))
+
+
+def test_row_out_of_bounds_rejected():
+    with pytest.raises(ValueError, match="row index"):
+        COOMatrix([2], [0], [1.0], (2, 3))
+
+
+def test_col_out_of_bounds_rejected():
+    with pytest.raises(ValueError, match="column index"):
+        COOMatrix([0], [3], [1.0], (2, 3))
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        COOMatrix([-1], [0], [1.0], (2, 3))
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(ValueError, match="shape"):
+        COOMatrix([], [], [], (2,))
+
+
+def test_empty_matrix():
+    m = COOMatrix.empty((4, 5))
+    assert m.nnz == 0
+    assert np.array_equal(m.to_dense(), np.zeros((4, 5)))
+
+
+def test_duplicates_summed_by_canonicalize():
+    m = COOMatrix([0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0], (2, 2))
+    c = m.canonicalize()
+    assert c.nnz == 2
+    dense = c.to_dense()
+    assert dense[0, 1] == 5.0
+    assert dense[1, 0] == 1.0
+
+
+def test_canonicalize_sorts_row_major():
+    m = COOMatrix([1, 0, 0], [0, 2, 1], [1.0, 2.0, 3.0], (2, 3))
+    c = m.canonicalize()
+    keys = list(zip(c.rows.tolist(), c.cols.tolist()))
+    assert keys == sorted(keys)
+
+
+def test_canonicalize_idempotent():
+    m = COOMatrix([0, 0], [1, 1], [2.0, 3.0], (2, 2)).canonicalize()
+    assert m.canonicalize() is m
+
+
+def test_to_dense_sums_duplicates():
+    m = COOMatrix([0, 0], [0, 0], [1.5, 2.5], (1, 1))
+    assert m.to_dense()[0, 0] == 4.0
+
+
+def test_from_dense_roundtrip(rng):
+    dense = rng.standard_normal((9, 13))
+    dense[np.abs(dense) < 0.8] = 0.0
+    m = COOMatrix.from_dense(dense)
+    assert np.array_equal(m.to_dense(), dense)
+
+
+def test_from_dense_tolerance():
+    dense = np.array([[0.1, 1.0], [0.0, -0.05]])
+    m = COOMatrix.from_dense(dense, tol=0.2)
+    assert m.nnz == 1
+    assert m.to_dense()[0, 1] == 1.0
+
+
+def test_from_dense_rejects_1d():
+    with pytest.raises(ValueError, match="2-D"):
+        COOMatrix.from_dense(np.ones(4))
+
+
+def test_transpose():
+    m = COOMatrix([0, 1], [2, 0], [5.0, 7.0], (2, 3))
+    t = m.transpose()
+    assert t.shape == (3, 2)
+    assert np.array_equal(t.to_dense(), m.to_dense().T)
+
+
+def test_concatenate_sums():
+    a = COOMatrix([0], [0], [1.0], (2, 2))
+    b = COOMatrix([0], [0], [2.0], (2, 2))
+    c = COOMatrix.concatenate([a, b]).canonicalize()
+    assert c.to_dense()[0, 0] == 3.0
+
+
+def test_concatenate_shape_mismatch():
+    a = COOMatrix([0], [0], [1.0], (2, 2))
+    b = COOMatrix([0], [0], [2.0], (3, 3))
+    with pytest.raises(ValueError, match="share a shape"):
+        COOMatrix.concatenate([a, b])
+
+
+def test_concatenate_empty_list():
+    with pytest.raises(ValueError, match="at least one"):
+        COOMatrix.concatenate([])
+
+
+def test_tocsr_matches_dense(rng):
+    dense = rng.standard_normal((15, 10))
+    dense[np.abs(dense) < 1.0] = 0.0
+    m = COOMatrix.from_dense(dense)
+    csr = m.tocsr()
+    assert isinstance(csr, CSRMatrix)
+    assert np.array_equal(csr.to_dense(), dense)
+
+
+def test_tocsr_handles_empty_rows():
+    m = COOMatrix([2], [1], [4.0], (5, 3))
+    csr = m.tocsr()
+    assert csr.row_nnz().tolist() == [0, 0, 1, 0, 0]
+
+
+def test_to_scipy_roundtrip(rng):
+    dense = rng.standard_normal((6, 8))
+    dense[np.abs(dense) < 0.9] = 0.0
+    m = COOMatrix.from_dense(dense)
+    assert np.array_equal(m.to_scipy().toarray(), dense)

@@ -1,0 +1,126 @@
+"""Unit tests for spectral estimation (power method, Lanczos, conditioning)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    condition_number,
+    gershgorin_bounds,
+    lanczos_extreme_eigenvalues,
+    power_method,
+    spectral_radius,
+)
+from repro.sparse.linalg import smallest_eigenvalue_shift_invert
+
+
+def test_gershgorin_contains_spectrum(small_spd):
+    lo, hi = gershgorin_bounds(small_spd)
+    lam = np.linalg.eigvalsh(small_spd.to_dense())
+    assert lo <= lam[0] and lam[-1] <= hi
+
+
+def test_gershgorin_diagonal_matrix():
+    d = CSRMatrix.diagonal_matrix([1.0, -3.0, 5.0])
+    assert gershgorin_bounds(d) == (-3.0, 5.0)
+
+
+def test_power_method_dominant_eigenvalue(small_spd):
+    lam, v, it = power_method(small_spd, tol=1e-12)
+    exact = np.max(np.abs(np.linalg.eigvalsh(small_spd.to_dense())))
+    assert np.isclose(lam, exact, rtol=1e-8)
+    assert it < 2000
+
+
+def test_power_method_callable():
+    n = 30
+    d = np.linspace(1.0, 9.0, n)
+    lam, _, _ = power_method(lambda x: d * x, n, tol=1e-12)
+    assert np.isclose(lam, 9.0, rtol=1e-8)
+
+
+def test_power_method_requires_n_for_callable():
+    with pytest.raises(ValueError, match="n must be given"):
+        power_method(lambda x: x)
+
+
+def test_power_method_zero_operator():
+    lam, _, it = power_method(lambda x: 0.0 * x, 5)
+    assert lam == 0.0
+
+
+def test_spectral_radius_dense_vs_power(small_spd):
+    rd = spectral_radius(small_spd, method="dense")
+    rp = spectral_radius(small_spd, method="power", tol=1e-12)
+    assert np.isclose(rd, rp, rtol=1e-6)
+
+
+def test_spectral_radius_negative_dominant():
+    # Dominant eigenvalue is negative: radius must use magnitudes.
+    A = CSRMatrix.diagonal_matrix([-5.0, 2.0, 1.0])
+    assert np.isclose(spectral_radius(A, method="dense"), 5.0)
+    assert np.isclose(spectral_radius(A, method="power"), 5.0, rtol=1e-6)
+
+
+def test_spectral_radius_plus_minus_pair():
+    # Bipartite-like spectrum {+r, -r}: squaring resolves the degeneracy.
+    dense = np.array([[0.0, 2.0], [2.0, 0.0]])
+    A = CSRMatrix.from_dense(dense)
+    assert np.isclose(spectral_radius(A, method="power"), 2.0, rtol=1e-6)
+
+
+def test_spectral_radius_unknown_method(small_spd):
+    with pytest.raises(ValueError, match="method"):
+        spectral_radius(small_spd, method="nope")
+
+
+def test_lanczos_extremes(small_spd):
+    lmin, lmax = lanczos_extreme_eigenvalues(small_spd, steps=60)
+    lam = np.linalg.eigvalsh(small_spd.to_dense())
+    assert np.isclose(lmin, lam[0], rtol=1e-6)
+    assert np.isclose(lmax, lam[-1], rtol=1e-6)
+
+
+def test_lanczos_early_invariant_subspace():
+    # Diagonal with few distinct values: Lanczos finds them in few steps.
+    A = CSRMatrix.diagonal_matrix([1.0] * 10 + [4.0] * 10)
+    lmin, lmax = lanczos_extreme_eigenvalues(A, steps=20)
+    assert np.isclose(lmin, 1.0, atol=1e-8)
+    assert np.isclose(lmax, 4.0, atol=1e-8)
+
+
+def test_shift_invert_lambda_min(small_spd):
+    lam = np.linalg.eigvalsh(small_spd.to_dense())
+    est = smallest_eigenvalue_shift_invert(small_spd)
+    assert np.isclose(est, lam[0], rtol=1e-6)
+
+
+def test_condition_number_dense(small_spd):
+    lam = np.linalg.eigvalsh(small_spd.to_dense())
+    assert np.isclose(condition_number(small_spd), lam[-1] / lam[0], rtol=1e-8)
+
+
+def test_condition_number_sparse_path(small_spd):
+    # Force the Lanczos/shift-invert branch.
+    import repro.sparse.linalg as L
+
+    lam = np.linalg.eigvalsh(small_spd.to_dense())
+    old = L.DENSE_CUTOFF
+    L.DENSE_CUTOFF = 10
+    try:
+        est = condition_number(small_spd, steps=60)
+    finally:
+        L.DENSE_CUTOFF = old
+    assert np.isclose(est, lam[-1] / lam[0], rtol=1e-4)
+
+
+def test_condition_number_non_spd(rng):
+    dense = rng.standard_normal((20, 20))
+    A = CSRMatrix.from_dense(dense)
+    s = np.linalg.svd(dense, compute_uv=False)
+    assert np.isclose(condition_number(A, assume_spd=False), s[0] / s[-1], rtol=1e-8)
+
+
+def test_condition_number_indefinite_is_inf():
+    A = CSRMatrix.diagonal_matrix([1.0, -1.0])
+    assert condition_number(A) == float("inf")

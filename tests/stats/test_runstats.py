@@ -1,0 +1,94 @@
+"""Tests for ensemble statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats import EnsembleStats
+
+
+def make_histories():
+    # Three runs with known values at 3 checkpoints (iterations 0, 1, 2).
+    return [
+        np.array([1.0, 0.5, 0.25]),
+        np.array([1.0, 0.4, 0.20]),
+        np.array([1.0, 0.6, 0.30]),
+    ]
+
+
+def test_basic_statistics():
+    s = EnsembleStats.from_histories(make_histories())
+    assert s.nruns == 3
+    assert np.allclose(s.mean, [1.0, 0.5, 0.25])
+    assert np.allclose(s.max, [1.0, 0.6, 0.30])
+    assert np.allclose(s.min, [1.0, 0.4, 0.20])
+    assert np.allclose(s.abs_variation, [0.0, 0.2, 0.1])
+    assert np.allclose(s.rel_variation, [0.0, 0.4, 0.4])
+
+
+def test_variance_and_derived():
+    s = EnsembleStats.from_histories(make_histories())
+    expected_var = np.var([0.5, 0.4, 0.6], ddof=1)
+    assert np.isclose(s.variance[1], expected_var)
+    assert np.isclose(s.std[1], np.sqrt(expected_var))
+    assert np.isclose(s.stderr[1], np.sqrt(expected_var) / np.sqrt(3))
+
+
+def test_checkpoints_selection():
+    s = EnsembleStats.from_histories(make_histories(), checkpoints=[2])
+    assert s.checkpoints.tolist() == [2]
+    assert np.allclose(s.mean, [0.25])
+
+
+def test_checkpoint_out_of_range():
+    with pytest.raises(ValueError, match="checkpoint"):
+        EnsembleStats.from_histories(make_histories(), checkpoints=[5])
+
+
+def test_unequal_lengths_rejected():
+    with pytest.raises(ValueError, match="length"):
+        EnsembleStats.from_histories([np.ones(3), np.ones(4)])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        EnsembleStats.from_histories([])
+
+
+def test_single_run_zero_variance():
+    s = EnsembleStats.from_histories([np.array([1.0, 0.5])])
+    assert np.all(s.variance == 0.0)
+    assert np.all(s.abs_variation == 0.0)
+
+
+def test_rel_variation_zero_mean_guard():
+    s = EnsembleStats.from_histories([np.array([0.0]), np.array([0.0])])
+    assert s.rel_variation[0] == 0.0
+
+
+def test_rows_format():
+    s = EnsembleStats.from_histories(make_histories(), checkpoints=[1, 2])
+    rows = s.rows()
+    assert len(rows) == 2
+    assert rows[0][0] == 1  # checkpoint index
+    assert len(rows[0]) == 9  # the paper's 8 statistics + index
+
+
+def test_variation_growth_slope():
+    # Construct histories whose relative variation grows linearly.
+    base = 0.5 ** np.arange(20.0)
+    hi = base * (1.0 + 0.01 * np.arange(20.0))
+    lo = base * (1.0 - 0.01 * np.arange(20.0))
+    s = EnsembleStats.from_histories([base, hi, lo])
+    slope = s.variation_growth()
+    assert 0.015 < slope < 0.025  # rel variation = 0.02 * k
+
+
+def test_variation_growth_flat_when_constant():
+    base = 0.5 ** np.arange(20.0)
+    s = EnsembleStats.from_histories([base, base * 1.001])
+    assert abs(s.variation_growth()) < 1e-6
+
+
+def test_variation_growth_empty_after_floor():
+    s = EnsembleStats.from_histories([np.full(5, 1e-16), np.full(5, 1e-16)])
+    assert s.variation_growth() == 0.0

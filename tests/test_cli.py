@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import SOLVER_CHOICES, build_parser, main
+
+
+def test_parser_builds():
+    p = build_parser()
+    args = p.parse_args(["solve", "fv1", "--solver", "jacobi"])
+    assert args.matrix == "fv1"
+    assert args.solver == "jacobi"
+
+
+def test_suite_command(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "Chem97ZtZ" in out and "Trefethen_20000" in out
+    assert "NO" in out  # s1rmt3m1 flagged non-convergent
+
+
+def test_characterize_suite_matrix(capsys):
+    assert main(["characterize", "Trefethen_2000", "--lanczos-steps", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "rho(B)" in out
+    assert "0.86" in out
+
+
+def test_characterize_mtx_file(tmp_path, capsys):
+    from repro.matrices import write_matrix_market
+    from repro.sparse import CSRMatrix
+
+    dense = np.diag([4.0, 5.0, 6.0])
+    dense[0, 1] = dense[1, 0] = 1.0
+    path = tmp_path / "tiny.mtx"
+    write_matrix_market(path, CSRMatrix.from_dense(dense))
+    assert main(["characterize", str(path)]) == 0
+    assert "nnz" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("solver", ["jacobi", "gauss-seidel", "cg", "async", "block-jacobi"])
+def test_solve_command(solver, capsys):
+    code = main(
+        ["solve", "Trefethen_2000", "--solver", solver, "--tol", "1e-8", "--maxiter", "1200"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "converged: True" in out
+
+
+def test_solve_history_flag(capsys):
+    main(["solve", "Trefethen_2000", "--solver", "cg", "--tol", "1e-6", "--history"])
+    out = capsys.readouterr().out
+    assert "iter " in out
+
+
+def test_solve_nonconvergent_exit_code(capsys):
+    code = main(["solve", "s1rmt3m1", "--solver", "jacobi", "--maxiter", "20"])
+    assert code == 1
+
+
+def test_experiment_list(capsys):
+    assert main(["experiment", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "T1" in out and "F11" in out and "X2" in out
+
+
+def test_experiment_run(capsys):
+    assert main(["experiment", "F8"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+
+
+def test_all_solver_choices_constructible():
+    p = build_parser()
+    for s in SOLVER_CHOICES:
+        args = p.parse_args(["solve", "fv1", "--solver", s])
+        assert args.solver == s
+
+
+def test_experiment_json_output(capsys):
+    import json
+
+    assert main(["experiment", "F8", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["experiment_id"] == "F8"
+    assert data["series"]

@@ -1,0 +1,34 @@
+"""Tests for the `repro experiment all` driver (on a trimmed registry)."""
+
+import json
+
+import pytest
+
+import repro.experiments
+from repro.cli import main
+
+
+@pytest.fixture()
+def tiny_registry(monkeypatch):
+    """Registry containing only the fastest experiments."""
+    full = repro.experiments.EXPERIMENTS
+    tiny = {k: full[k] for k in ("F8", "T4")}
+    monkeypatch.setattr(repro.experiments, "EXPERIMENTS", tiny)
+    return tiny
+
+
+def test_experiment_all_writes_artifacts(tmp_path, tiny_registry, capsys):
+    code = main(["experiment", "all", "--outdir", str(tmp_path)])
+    assert code == 0
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert files == ["F8.txt", "T4.txt"]
+    assert "Figure 8" in (tmp_path / "F8.txt").read_text()
+    out = capsys.readouterr().out
+    assert "wrote 2 artifacts" in out
+
+
+def test_experiment_all_json_sidecars(tmp_path, tiny_registry, capsys):
+    code = main(["experiment", "all", "--outdir", str(tmp_path), "--json"])
+    assert code == 0
+    data = json.loads((tmp_path / "F8.json").read_text())
+    assert data["experiment_id"] == "F8"

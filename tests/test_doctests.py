@@ -1,0 +1,31 @@
+"""Run the executable examples embedded in docstrings.
+
+Only modules whose examples are fast and deterministic are collected; the
+ThreadedAsyncSolver example is exercised despite being nondeterministic
+because its asserted outcome (convergence) is schedule-independent.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.block_async
+import repro.core.threaded
+import repro.extensions.multigrid
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro,
+        repro.core.block_async,
+        repro.core.threaded,
+        repro.extensions.multigrid,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_docstring_examples(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example runs end to end and says what it should."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "async-(5)" in out
+    assert "Gauss-Seidel" in out
+
+
+def test_fault_tolerant_solve():
+    out = run_example("fault_tolerant_solve.py")
+    assert "recover-(20)" in out
+    assert "no recovery" in out
+
+
+def test_divergent_system_rescue():
+    out = run_example("divergent_system_rescue.py")
+    assert "tau" in out
+    assert "monotone decrease restored" in out
+
+
+def test_multigrid_smoothing():
+    out = run_example("multigrid_smoothing.py")
+    assert "gauss-seidel" in out
+    assert "async" in out
+
+
+def test_nondeterminism_study():
+    out = run_example("nondeterminism_study.py", "6")
+    assert "rel var" in out
+    assert "off-block" in out
+
+
+def test_silent_error_watch():
+    out = run_example("silent_error_watch.py")
+    assert "ALERT" in out
+    assert "no alarm" in out
+
+
+def test_multigpu_scaling():
+    out = run_example("multigpu_scaling.py")
+    assert "AMC" in out and "DK" in out
+    assert "GPU(s)" in out

@@ -1,0 +1,158 @@
+"""End-to-end integration tests across modules.
+
+These reproduce, at test scale, each of the paper's qualitative claims:
+the full pipeline matrix-generator → block decomposition → async engine →
+statistics → timing model working together.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AsyncConfig,
+    BlockAsyncSolver,
+    ConjugateGradientSolver,
+    GaussSeidelSolver,
+    JacobiSolver,
+    StoppingCriterion,
+    default_rhs,
+    get_matrix,
+)
+from repro.core import FaultScenario
+from repro.experiments.runner import paper_async_config
+
+
+class TestPaperClaimFig6:
+    """async-(1) converges like Jacobi; GS roughly twice as fast."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, fv1):
+        b = default_rhs(fv1)
+        stop = StoppingCriterion(tol=1e-10, maxiter=400)
+        return {
+            "gs": GaussSeidelSolver(stopping=stop).solve(fv1, b),
+            "jacobi": JacobiSolver(stopping=stop).solve(fv1, b),
+            "async1": BlockAsyncSolver(
+                paper_async_config(1, block_size=128, seed=4), stopping=stop
+            ).solve(fv1, b),
+        }
+
+    def test_all_converge(self, runs):
+        assert all(r.converged for r in runs.values())
+
+    def test_async1_tracks_jacobi(self, runs):
+        assert abs(runs["async1"].iterations - runs["jacobi"].iterations) <= 25
+
+    def test_gs_half_of_jacobi(self, runs):
+        ratio = runs["jacobi"].iterations / runs["gs"].iterations
+        assert 1.5 < ratio < 2.5
+
+
+class TestPaperClaimFig7:
+    """async-(5) roughly doubles GS's per-iteration convergence on fv*."""
+
+    def test_fv1_speedup(self, fv1):
+        b = default_rhs(fv1)
+        stop = StoppingCriterion(tol=1e-10, maxiter=400)
+        gs = GaussSeidelSolver(stopping=stop).solve(fv1, b)
+        a5 = BlockAsyncSolver(paper_async_config(5, seed=4), stopping=stop).solve(fv1, b)
+        assert 1.3 < gs.iterations / a5.iterations < 3.0
+
+    def test_chem_no_gain_from_local_iterations(self):
+        # Chem97ZtZ's local blocks are diagonal: k=5 ~ k=1.
+        A = get_matrix("Chem97ZtZ")
+        b = default_rhs(A)
+        stop = StoppingCriterion(tol=1e-10, maxiter=400)
+        it1 = BlockAsyncSolver(
+            paper_async_config(1, block_size=128, seed=4), stopping=stop
+        ).solve(A, b).iterations
+        it5 = BlockAsyncSolver(
+            paper_async_config(5, block_size=128, seed=4), stopping=stop
+        ).solve(A, b).iterations
+        assert abs(it5 - it1) <= 0.2 * it1
+
+
+class TestPaperClaimS1rmt3m1:
+    """rho(B) > 1: Jacobi and async diverge; tau-scaling helps."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        A = get_matrix("s1rmt3m1")
+        return A, default_rhs(A)
+
+    def test_jacobi_diverges(self, system):
+        A, b = system
+        r = JacobiSolver(stopping=StoppingCriterion(maxiter=60)).solve(A, b)
+        assert r.relative_residuals()[-1] > 1e3
+
+    def test_async_diverges(self, system):
+        A, b = system
+        r = BlockAsyncSolver(
+            paper_async_config(5, seed=4), stopping=StoppingCriterion(maxiter=60)
+        ).solve(A, b)
+        assert r.relative_residuals()[-1] > 1e3
+
+    def test_gauss_seidel_crawls(self, system):
+        # SPD => GS converges, but the ill-conditioning makes it useless
+        # within the paper's 200-iteration window.
+        A, b = system
+        r = GaussSeidelSolver(stopping=StoppingCriterion(tol=1e-10, maxiter=200)).solve(A, b)
+        assert not r.converged
+        assert r.relative_residuals()[-1] < r.relative_residuals()[0]  # but not divergent
+
+
+class TestPaperClaimFaultTolerance:
+    """§4.5 at test scale."""
+
+    def test_recovery_path(self, fv1):
+        b = default_rhs(fv1)
+        stop = StoppingCriterion(tol=1e-10, maxiter=300)
+        clean = BlockAsyncSolver(paper_async_config(5, seed=4), stopping=stop).solve(fv1, b)
+        rec = BlockAsyncSolver(
+            paper_async_config(5, seed=4),
+            fault=FaultScenario(fraction=0.25, t0=10, recovery=20, seed=3),
+            stopping=stop,
+        ).solve(fv1, b)
+        norec = BlockAsyncSolver(
+            paper_async_config(5, seed=4),
+            fault=FaultScenario(fraction=0.25, t0=10, recovery=None, seed=3),
+            stopping=stop,
+        ).solve(fv1, b)
+        assert clean.converged and rec.converged
+        assert clean.iterations < rec.iterations
+        assert not norec.converged
+        assert norec.relative_residuals()[-1] > 1e-6  # stagnated far away
+
+
+class TestExactReconstruction:
+    """Trefethen is exact: cross-check a solver against scipy on it."""
+
+    def test_solution_matches_scipy(self, trefethen_small):
+        import scipy.sparse.linalg as spla
+
+        A = trefethen_small
+        b = default_rhs(A)
+        ours = ConjugateGradientSolver(
+            stopping=StoppingCriterion(tol=1e-12, maxiter=1000)
+        ).solve(A, b)
+        ref = spla.spsolve(A.to_scipy().tocsc(), b)
+        assert np.allclose(ours.x, ref, atol=1e-6)
+
+
+class TestSolversAgree:
+    """All convergent methods agree on the solution."""
+
+    def test_same_fixed_point(self, small_spd):
+        x_star = np.linspace(0, 1, 60)
+        b = small_spd.matvec(x_star)
+        stop = StoppingCriterion(tol=1e-13, maxiter=3000)
+        solutions = [
+            JacobiSolver(stopping=stop).solve(small_spd, b).x,
+            GaussSeidelSolver(stopping=stop).solve(small_spd, b).x,
+            ConjugateGradientSolver(stopping=stop).solve(small_spd, b).x,
+            BlockAsyncSolver(
+                AsyncConfig(local_iterations=3, block_size=13, seed=0), stopping=stop
+            ).solve(small_spd, b).x,
+        ]
+        for x in solutions:
+            assert np.allclose(x, x_star, atol=1e-7)
