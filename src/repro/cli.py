@@ -150,6 +150,7 @@ def _cmd_solve(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from .experiments import EXPERIMENTS, run_experiment
+    from .experiments.registry import supports_batched
 
     if args.id == "list":
         seen = set()
@@ -170,14 +171,16 @@ def _cmd_experiment(args) -> int:
                 continue
             seen.add(e.id)
             print(f"running {e.id}: {e.title} ...", flush=True)
-            result = e.runner(not args.full)
+            # Forward the execution-path choice only where one exists.
+            batched = args.batched if supports_batched(e) else None
+            result = run_experiment(e.id, quick=not args.full, batched=batched)
             path = outdir / f"{e.id.replace('/', '_')}.txt"
             path.write_text(result.render() + "\n")
             if args.json:
                 (outdir / f"{e.id.replace('/', '_')}.json").write_text(result.to_json())
         print(f"wrote {len(seen)} artifacts to {outdir}/")
         return 0
-    result = run_experiment(args.id, quick=not args.full)
+    result = run_experiment(args.id, quick=not args.full, batched=args.batched)
     print(result.to_json() if args.json else result.render())
     return 0
 
@@ -216,6 +219,19 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--outdir", default=None, help="output directory for 'all'")
     pe.add_argument("--full", action="store_true", help="paper-scale parameters")
     pe.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+    pe.add_argument(
+        "--batched",
+        dest="batched",
+        action="store_true",
+        default=None,
+        help="run replica ensembles through the batched multi-vector engine",
+    )
+    pe.add_argument(
+        "--no-batched",
+        dest="batched",
+        action="store_false",
+        help="force the sequential per-seed ensemble loop",
+    )
     pe.set_defaults(func=_cmd_experiment)
     return p
 

@@ -21,8 +21,8 @@
   ρ(|B|) < 1 condition, well-posedness checks, rate predictions.
 """
 
-from .schedules import AsyncConfig, WaveScheduler, UPDATE_ORDERS
-from .engine import AsyncEngine
+from .schedules import AsyncConfig, WaveScheduler, UPDATE_ORDERS, replica_rngs
+from .engine import AsyncEngine, BatchedAsyncEngine
 from .block_async import BlockAsyncSolver
 from .fault import FAULT_KINDS, FaultScenario
 from .detection import Alert, SilentErrorDetector
@@ -41,7 +41,9 @@ __all__ = [
     "AsyncConfig",
     "WaveScheduler",
     "UPDATE_ORDERS",
+    "replica_rngs",
     "AsyncEngine",
+    "BatchedAsyncEngine",
     "BlockAsyncSolver",
     "FaultScenario",
     "FAULT_KINDS",

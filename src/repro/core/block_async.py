@@ -99,6 +99,7 @@ class BlockAsyncSolver(IterativeSolver):
                 "block_size": self.config.block_size,
                 "local_iterations": self.config.local_iterations,
                 "update_counts": state.engine.update_counts.copy(),
+                "staleness_bound": state.engine.scheduler.staleness_bound(),
                 "off_block_fraction": state.view.off_block_fraction(),
                 "order": self.config.order,
             }

@@ -16,8 +16,6 @@ of the engine's actual schedules.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from .._util import check_square
@@ -96,7 +94,7 @@ def check_well_posedness(
     update_counts: np.ndarray,
     sweeps: int,
     *,
-    staleness_bound: Optional[int] = None,
+    staleness_bound: int,
     max_staleness: int = 2,
 ) -> bool:
     """Verify the §2.2 conditions against an engine's actual execution.
@@ -104,8 +102,17 @@ def check_well_posedness(
     Condition (1) — every component updated "infinitely often" — holds for a
     finite run when every block was updated in step with the sweep count
     (each sweep schedules every block exactly once, failures aside).
-    Condition (2) — bounded shift — holds when the scheduler's staleness
-    bound does not exceed *max_staleness* sweeps.
+    Condition (2) — bounded shift — holds when the schedule's *measured*
+    staleness bound does not exceed *max_staleness* sweeps.
+
+    The bound must come from the run being checked — the scheduler's
+    :meth:`~repro.core.schedules.WaveScheduler.staleness_bound`, surfaced
+    by :class:`~repro.core.block_async.BlockAsyncSolver` as
+    ``result.info["staleness_bound"]`` (the batched engine's
+    :meth:`~repro.core.engine.BatchedAsyncEngine.staleness_bound` for
+    ensembles).  Earlier revisions silently assumed 2 when no bound was
+    passed, letting condition (2) "pass" without any measurement; an
+    unknown bound is now an error.
 
     Returns ``True`` when both hold; fault-affected runs where some blocks
     fell behind return ``False`` (asynchronous theory then still applies
@@ -114,8 +121,17 @@ def check_well_posedness(
     counts = np.asarray(update_counts)
     if sweeps < 0:
         raise ValueError("sweeps must be non-negative")
+    if staleness_bound is None:
+        raise ValueError(
+            "staleness_bound is required: pass the schedule's measured bound "
+            "(e.g. result.info['staleness_bound'] from BlockAsyncSolver, or "
+            "engine.staleness_bound()); condition (2) cannot be checked "
+            "against an unknown shift function"
+        )
+    if staleness_bound < 1:
+        raise ValueError("staleness_bound must be >= 1 (reads lag writes)")
     if len(counts) == 0:
         return True
     condition1 = bool(counts.min() >= sweeps)
-    condition2 = (staleness_bound if staleness_bound is not None else 2) <= max_staleness
+    condition2 = staleness_bound <= max_staleness
     return condition1 and condition2

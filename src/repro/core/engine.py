@@ -37,10 +37,11 @@ import numpy as np
 
 from .._util import as_rng, check_vector
 from ..sparse import BlockRowView
+from ..solvers.block_jacobi import local_jacobi_sweeps
 from .fault import FaultScenario
-from .schedules import AsyncConfig, WaveScheduler
+from .schedules import AsyncConfig, WaveScheduler, replica_rngs
 
-__all__ = ["AsyncEngine"]
+__all__ = ["AsyncEngine", "BatchedAsyncEngine"]
 
 
 class AsyncEngine:
@@ -197,3 +198,467 @@ class AsyncEngine:
     def min_updates(self) -> int:
         """Fewest updates any block has received (condition (1) diagnostics)."""
         return int(self.update_counts.min()) if len(self.update_counts) else 0
+
+
+class BatchedAsyncEngine:
+    """Advances R independent async-(k) replicas through each sweep at once.
+
+    The §4.1/§4.3 ensemble experiments run the *same* configuration many
+    times, varying only the schedule seed.  This engine stacks the R
+    replica iterates as an ``(R, n)`` multi-vector and advances every
+    replica through each global sweep with a handful of vectorized kernel
+    calls, instead of R scalar solves — the same per-sweep amortisation
+    batched asynchronous Richardson/Schwarz solvers use on GPUs.
+
+    **Exactness contract**: replica *r* reproduces, bitwise, the iterates
+    the sequential :class:`AsyncEngine` produces for
+    ``dataclasses.replace(config, seed=seed0 + r)``.  Each replica owns a
+    private generator (:func:`repro.core.schedules.replica_rngs`) and
+    consumes it in exactly the sequential order — scheduler construction,
+    per-sweep order jitter, per-block freshness masks, deferred-write
+    draws — while the numerical kernels run batched:
+
+    * the snapshot ("stale") part of every block's off-block gather is one
+      multi-vector SpMV against the restacked external matrix
+      (:meth:`repro.sparse.BlockRowView.external_matrix`);
+    * per-entry race corrections and local Jacobi sweeps are grouped by
+      (schedule position, block): replicas updating the same block at the
+      same position advance together.  The position barrier preserves the
+      sequential data flow — a block reads live values only of blocks
+      earlier in *its replica's* order;
+    * when every block reads the pure sweep-start snapshot (γ ≡ 0, e.g.
+      the ``"synchronous"`` order), block updates are order-independent
+      and the whole sweep collapses to one global multi-vector two-stage
+      update with no position loop at all.
+
+    All 2-D kernels are bitwise identical to their stacked 1-D
+    counterparts (the CSR length-class packing sums each row the same way
+    in every product, and ``np.add.at`` accumulates per-accumulator in
+    flat order), which the test suite asserts directly.
+
+    Fault scenarios are not supported — :func:`repro.stats.run_ensemble`
+    falls back to the sequential path for those.
+
+    Parameters
+    ----------
+    view:
+        Precomputed block decomposition, shared by all replicas (the whole
+        point: it is built once, not R times).
+    b:
+        Right-hand side, shared by all replicas.
+    config:
+        Asynchronism configuration.  ``config.seed`` is ignored — replica
+        *r* runs with seed ``seed0 + r``.
+    nreplicas:
+        Ensemble size R.
+    seed0:
+        First replica seed.
+
+    Attributes
+    ----------
+    update_counts:
+        ``(R, nblocks)`` per-replica block-update counts.
+    sweep_index:
+        Number of completed global sweeps.
+    """
+
+    def __init__(
+        self,
+        view: BlockRowView,
+        b: np.ndarray,
+        config: AsyncConfig,
+        nreplicas: int,
+        *,
+        seed0: int = 0,
+    ):
+        self.view = view
+        self.b = check_vector(b, view.n, "b")
+        self.config = config
+        self.nreplicas = int(nreplicas)
+        self.seed0 = int(seed0)
+        self.rngs = replica_rngs(self.seed0, self.nreplicas)
+        # Scheduler construction consumes RNG ("gpu" pattern pools) exactly
+        # as the sequential engine's __init__ does.
+        self.schedulers = [
+            WaveScheduler(view.nblocks, config, rng) for rng in self.rngs
+        ]
+        self.update_counts = np.zeros((self.nreplicas, view.nblocks), dtype=np.int64)
+        self.sweep_index = 0
+        self._b_blocks = [self.b[blk.rows] for blk in view.blocks]
+        self._ext_rows = [blk.external._expanded_rows() for blk in view.blocks]
+        self._ext_nnz = [blk.external.nnz for blk in view.blocks]
+        self._local_c = [blk.local_off_compressed() for blk in view.blocks]
+        self._E = view.external_matrix()
+        self._ext_buf: Optional[np.ndarray] = None
+        # Fused-path precomputes (see _sweep_fused).
+        self._bs = np.array([blk.nrows for blk in view.blocks], dtype=np.int64)
+        self._arange_rows = [
+            np.arange(blk.start, blk.stop, dtype=np.int64) for blk in view.blocks
+        ]
+        self._ennz = np.array(self._ext_nnz, dtype=np.int64)
+        self._e_indices = [blk.external.indices for blk in view.blocks]
+        self._e_data = [blk.external.data for blk in view.blocks]
+        self._diag_blocks = [blk.diag for blk in view.blocks]
+        self._build_padded_plans()
+
+    #: Groups smaller than this are folded into one fused per-position
+    #: update instead of getting their own kernel calls.  With the "gpu"
+    #: order every replica jitters the same base pattern, so each position
+    #: has one large group plus a tail of near-singleton outliers — the
+    #: tail dominates the call count, not the flops.
+    _FUSE_MIN = 16
+
+    #: Column sentinel for pad entries of the padded-ELL local plans;
+    #: clipped to the shared zero slot at product time.
+    _PAD_SENTINEL = np.int64(1) << 48
+
+    def _build_padded_plans(self) -> None:
+        """Uniform-width (padded ELL) layout of every block's local part.
+
+        Each block's in-block off-diagonal rows are laid out as a dense
+        ``(block_rows, W)`` panel, W the widest local row over *all*
+        blocks.  Pad entries hold the value ``-0.0`` and a sentinel column
+        that resolves to a shared ``+0.0`` operand slot, so every pad
+        contributes the product ``-0.0 * +0.0 == -0.0`` — and IEEE-754
+        addition of ``-0.0`` is the identity for every float (signed
+        zeros, infinities and NaNs included).  A padded row therefore sums
+        bitwise identically to the unpadded left-to-right sum of
+        :meth:`repro.sparse.CSRMatrix._packed_product`, while giving all
+        blocks one common rectangular shape that concatenates across
+        blocks with no per-length-class bookkeeping.
+
+        The one exception is an *empty* row: the packed kernel writes it
+        as ``+0.0`` while an all-pad row would sum to ``-0.0``, so empty
+        rows get ``+0.0`` as their first pad.  Rows wider than the packed
+        kernel's panel cap would be summed by ``reduceat`` (a different
+        order), so such blocks disable the fused path entirely.
+        """
+        from ..sparse.csr import CSRMatrix
+
+        self._pad_cols: Optional[List[np.ndarray]] = None
+        self._pad_data: List[np.ndarray] = []
+        self._padW = 0
+        widths = []
+        for blk in self.view.blocks:
+            lengths = np.diff(blk.local_off.indptr)
+            w = int(lengths.max()) if len(lengths) else 0
+            if w > CSRMatrix._ELL_MAX_WIDTH:
+                return
+            widths.append(w)
+        W = max(1, max(widths, default=1))
+        pad_cols = []
+        for blk in self.view.blocks:
+            lc = blk.local_off_compressed()
+            lengths = np.diff(lc.indptr)
+            cols = np.full((blk.nrows, W), self._PAD_SENTINEL, dtype=np.int64)
+            data = np.full((blk.nrows, W), -0.0)
+            r = lc._expanded_rows()
+            p = np.arange(lc.nnz, dtype=np.int64) - lc.indptr[r]
+            cols[r, p] = lc.indices
+            data[r, p] = lc.data
+            data[lengths == 0, 0] = 0.0
+            # Lane-major (W, rows) storage: the product then runs one
+            # contiguous gather-multiply-add per lane instead of strided
+            # column reductions over a (rows, W) panel.
+            pad_cols.append(np.ascontiguousarray(cols.T))
+            self._pad_data.append(np.ascontiguousarray(data.T))
+        self._padW = W
+        self._pad_cols = pad_cols
+
+    # ------------------------------------------------------------------ #
+
+    def staleness_bound(self) -> int:
+        """Shift-function bound of the schedules (condition (2) of §2.2)."""
+        return self.schedulers[0].staleness_bound() if self.schedulers else 0
+
+    def _base_external(self, S: np.ndarray, reps: np.ndarray) -> np.ndarray:
+        """Snapshot off-block gather ``E @ S[r]`` for every replica in *reps*.
+
+        One cache-resident 1-D SpMV per replica: on a CPU the row-at-a-time
+        kernel beats the ``(R, nnz)`` multi-vector gather (whose temporaries
+        spill every cache level), and it is bitwise the sequential engine's
+        own per-block product by construction.
+        """
+        out = self._ext_buf
+        if out is None or out.shape[0] < len(reps):
+            out = self._ext_buf = np.empty((len(reps), self.view.n))
+        out = out[: len(reps)]
+        for i, r in enumerate(reps):
+            self._E.matvec(S[r], out=out[i])
+        return out
+
+    def sweep(self, X: np.ndarray, replicas: Optional[np.ndarray] = None) -> np.ndarray:
+        """One global iteration for every replica row listed in *replicas*.
+
+        *X* is the ``(R, n)`` multi-vector of iterates, updated in place;
+        *replicas* (default: all) selects the rows still being advanced —
+        frozen rows are neither read nor written, and their generators are
+        not consumed, exactly as a sequential run that stopped early.
+        """
+        cfg = self.config
+        view = self.view
+        nb = view.nblocks
+        if X.shape != (self.nreplicas, view.n):
+            raise ValueError(
+                f"X must have shape ({self.nreplicas}, {view.n}), got {X.shape}"
+            )
+        reps = (
+            np.arange(self.nreplicas, dtype=np.int64)
+            if replicas is None
+            else np.asarray(replicas, dtype=np.int64)
+        )
+        if len(reps) == 0:
+            self.sweep_index += 1
+            return X
+
+        # 1. Per-replica schedule plans.  γ is a deterministic device
+        # property — identical for every replica — but the orders differ.
+        orders = np.empty((len(reps), nb), dtype=np.int64)
+        gamma = np.zeros(nb)
+        for i, r in enumerate(reps):
+            order, gamma = self.schedulers[r].plan_for_sweep(self.sweep_index, self.rngs[r])
+            orders[i] = order
+
+        # 2. Freshness masks and deferred-write draws, consumed in schedule
+        # order from each replica's own stream (bitwise the sequential
+        # draws).
+        mixed = (gamma > 0.0) & (gamma < 1.0)
+        draw_defer = cfg.deferred_write_prob > 0.0
+        fresh: List[List[Optional[np.ndarray]]] = [[None] * nb for _ in range(len(reps))]
+        defer = np.zeros((len(reps), nb), dtype=bool)
+        if mixed.any() and not draw_defer:
+            # No defer draws interleave, so each replica's per-block
+            # freshness draws are consecutive in its stream — and
+            # ``Generator.random`` fills doubles from the bit stream
+            # sequentially, so one call per replica per sweep is bitwise
+            # the per-block calls.  γ is uniform over mixed positions (it
+            # differs only on the γ=1 pipeline tail), so one comparison
+            # thresholds the whole sweep's draws.
+            mpos = np.flatnonzero(mixed)
+            gmix = float(gamma[mpos[0]])
+            for i, r in enumerate(reps):
+                sizes = self._ennz[orders[i][mpos]]
+                offs = np.zeros(len(sizes) + 1, dtype=np.int64)
+                np.cumsum(sizes, out=offs[1:])
+                fm = self.rngs[r].random(int(offs[-1])) < gmix
+                fi = fresh[i]
+                for t, pos in enumerate(mpos):
+                    fi[pos] = fm[offs[t] : offs[t + 1]]
+        elif mixed.any() or draw_defer:
+            for i, r in enumerate(reps):
+                rng = self.rngs[r]
+                row = orders[i]
+                for pos in range(nb):
+                    if mixed[pos]:
+                        g = gamma[pos]
+                        fresh[i][pos] = rng.random(self._ext_nnz[row[pos]]) < g
+                    if draw_defer:
+                        defer[i, pos] = rng.random() < cfg.deferred_write_prob
+
+        all_live = bool(np.all(gamma >= 1.0))
+        S = X if all_live else X.copy()
+        EXT = self._base_external(S, reps) if not all_live else None
+
+        if np.all(gamma <= 0.0):
+            # Pure snapshot semantics: no block reads another block's
+            # current-sweep writes, so the whole sweep is one global
+            # multi-vector two-stage update (deferred writes land by sweep
+            # end on disjoint rows — the final state is identical).
+            s_all = self.b - EXT
+            Z = local_jacobi_sweeps(
+                view.local_offdiag_matrix(),
+                view.diagonal_vector(),
+                s_all,
+                X[reps],
+                cfg.local_iterations,
+                omega=cfg.omega,
+            )
+            X[reps] = Z
+            self.update_counts[reps] += 1
+            self.sweep_index += 1
+            return X
+
+        # 3. Position loop with (position, block) grouping.  Replicas at
+        # the same position update disjoint rows and read only their own
+        # replica's values, so groups within a position are independent;
+        # the barrier between positions preserves each replica's
+        # earlier-blocks-are-live data flow.  Large groups (many replicas
+        # on the same block — the "gpu" order's shared base pattern) run
+        # as rectangular per-block kernels; the tail of small outlier
+        # groups is folded into one fused concatenated update per
+        # position.
+        deferred: List[Tuple[int, slice, np.ndarray]] = []
+        Xflat = X.reshape(-1) if X.flags["C_CONTIGUOUS"] else None
+        fused_ok = self._pad_cols is not None and Xflat is not None
+        for pos in range(nb):
+            bids = orders[:, pos]
+            g = float(gamma[pos])
+            ubids, inv, counts = np.unique(bids, return_inverse=True, return_counts=True)
+            fuse = fused_ok and g < 1.0 and bool((counts < self._FUSE_MIN).any())
+            if fuse:
+                small = np.flatnonzero(counts[inv] < self._FUSE_MIN)
+                mem_s = small[np.argsort(bids[small], kind="stable")]
+                self._sweep_fused(
+                    X, Xflat, S, EXT, pos, mem_s, bids[mem_s], g, reps,
+                    fresh, defer, draw_defer, deferred,
+                )
+                if len(small) == len(bids):
+                    continue
+            for k, bid in enumerate(ubids):
+                if fuse and counts[k] < self._FUSE_MIN:
+                    continue
+                mem = np.flatnonzero(inv == k)
+                rows_g = reps[mem]
+                blk = view.blocks[bid]
+                if g >= 1.0:
+                    ext = blk.external.matvec_rows(X, rows_g)
+                else:
+                    ext = EXT[mem, blk.start : blk.stop]
+                    if g > 0.0:
+                        # Per-entry races: each fresh off-block component
+                        # is read after its owner's write from this sweep
+                        # landed (owners later in the replica's order, or
+                        # deferred, contribute an exact zero).
+                        e = blk.external
+                        F = (
+                            np.stack([fresh[i][pos] for i in mem])
+                            if len(mem) > 1
+                            else fresh[mem[0]][pos][None, :]
+                        )
+                        mi, ei = np.nonzero(F)
+                        if len(mi):
+                            cols = e.indices[ei]
+                            rg = rows_g[mi]
+                            delta = e.data[ei] * (X[rg, cols] - S[rg, cols])
+                            np.add.at(ext, (mi, self._ext_rows[bid][ei]), delta)
+                s = self._b_blocks[bid] - ext
+                z = local_jacobi_sweeps(
+                    self._local_c[bid],
+                    blk.diag,
+                    s,
+                    X[rows_g, blk.start : blk.stop],
+                    cfg.local_iterations,
+                    omega=cfg.omega,
+                )
+                if draw_defer:
+                    dmask = defer[mem, pos]
+                    live = ~dmask
+                    if live.any():
+                        X[rows_g[live], blk.start : blk.stop] = z[live]
+                    for j in np.flatnonzero(dmask):
+                        deferred.append((int(rows_g[j]), blk.rows, z[j]))
+                else:
+                    X[rows_g, blk.start : blk.stop] = z
+
+        for r, rows, vals in deferred:
+            X[r, rows] = vals
+        self.update_counts[reps] += 1
+        self.sweep_index += 1
+        return X
+
+    def _sweep_fused(
+        self,
+        X: np.ndarray,
+        Xflat: np.ndarray,
+        S: np.ndarray,
+        EXT: np.ndarray,
+        pos: int,
+        mem: np.ndarray,
+        bids: np.ndarray,
+        g: float,
+        reps: np.ndarray,
+        fresh: List[List[Optional[np.ndarray]]],
+        defer: np.ndarray,
+        draw_defer: bool,
+        deferred: List[Tuple[int, slice, np.ndarray]],
+    ) -> None:
+        """One concatenated update of all small (replica, block) pairs at *pos*.
+
+        *mem* indexes the pairs (into *reps*/*EXT* rows), sorted by block
+        id so same-block pairs sit in contiguous sections.  All pairs'
+        block rows are laid out back to back in one work vector and every
+        step of the block update — snapshot gather, per-entry race
+        corrections, the k local Jacobi sweeps over the padded-ELL local
+        plans (:meth:`_build_padded_plans`), the write-back — runs as a
+        single kernel call over the concatenation.  Pairs touch disjoint
+        replica rows, so this is bitwise the same as updating them one
+        group at a time: concatenation never mixes two pairs' terms into
+        one accumulator (``np.add.at`` accumulates per listed index, and
+        the padded rows reduce strictly left to right per row).
+        """
+        cfg = self.config
+        view = self.view
+        n = view.n
+        rows_g = reps[mem]
+        bs = self._bs[bids]
+        m = len(mem)
+        total = int(bs.sum())
+        row_off = np.zeros(m, dtype=np.int64)
+        np.cumsum(bs[:-1], out=row_off[1:])
+        col_rows = np.concatenate([self._arange_rows[b] for b in bids])
+        flat = np.repeat(rows_g * n, bs) + col_rows
+
+        # Off-block gather: snapshot base rows from EXT, then per-entry
+        # race corrections (identical accumulation order to the grouped
+        # path: ascending entry within each pair's section).
+        ext = EXT.reshape(-1)[np.repeat(mem * n, bs) + col_rows]
+        if g > 0.0:
+            F = np.concatenate([fresh[i][pos] for i in mem])
+            sel = np.flatnonzero(F)
+            if len(sel):
+                ecols = np.concatenate([self._e_indices[b] for b in bids])[sel]
+                edata = np.concatenate([self._e_data[b] for b in bids])[sel]
+                epos = (
+                    np.concatenate([self._ext_rows[b] for b in bids])
+                    + np.repeat(row_off, self._ennz[bids])
+                )[sel]
+                erep = np.repeat(rows_g, self._ennz[bids])[sel]
+                delta = edata * (X[erep, ecols] - S[erep, ecols])
+                np.add.at(ext, epos, delta)
+        s = np.concatenate([self._b_blocks[b] for b in bids])
+        np.subtract(s, ext, out=s)
+        d = np.concatenate([self._diag_blocks[b] for b in bids])
+
+        # k local Jacobi sweeps over the concatenated padded-ELL panels,
+        # lane by lane: every row accumulates its entries left to right,
+        # and each lane is one contiguous gather-multiply-add.
+        W = self._padW
+        cols = np.concatenate([self._pad_cols[b] for b in bids], axis=1)
+        cols += np.repeat(row_off, bs)
+        data = np.concatenate([self._pad_data[b] for b in bids], axis=1)
+        zbuf = np.empty(total + 1)
+        zbuf[total] = 0.0
+        zbuf[:total] = Xflat[flat]
+        z = zbuf[:total]
+        gbuf = np.empty(total)
+        acc = np.empty(total)
+        for _ in range(cfg.local_iterations):
+            # mode="clip" lands every pad sentinel on the +0.0 slot at
+            # index *total* (and skips per-element bounds checks).
+            np.take(zbuf, cols[0], out=gbuf, mode="clip")
+            np.multiply(data[0], gbuf, out=acc)
+            for j in range(1, W):
+                np.take(zbuf, cols[j], out=gbuf, mode="clip")
+                gbuf *= data[j]
+                acc += gbuf
+            new = (s - acc) / d
+            if cfg.omega != 1.0:
+                new = (1.0 - cfg.omega) * z + cfg.omega * new
+            zbuf[:total] = new
+            z = zbuf[:total]
+
+        if draw_defer and defer[mem, pos].any():
+            dmask = defer[mem, pos]
+            live = np.repeat(~dmask, bs)
+            Xflat[flat[live]] = z[live]
+            for j in np.flatnonzero(dmask):
+                lo = row_off[j]
+                deferred.append(
+                    (int(rows_g[j]), view.blocks[bids[j]].rows, z[lo : lo + bs[j]].copy())
+                )
+        else:
+            Xflat[flat] = z
+
+    def min_updates(self) -> int:
+        """Fewest updates any (replica, block) pair has received."""
+        return int(self.update_counts.min()) if self.update_counts.size else 0

@@ -57,9 +57,23 @@ from typing import List, Optional
 
 import numpy as np
 
-from .._util import RNGLike
+from .._util import RNGLike, as_rng
 
-__all__ = ["AsyncConfig", "WaveScheduler", "UPDATE_ORDERS"]
+__all__ = ["AsyncConfig", "WaveScheduler", "UPDATE_ORDERS", "replica_rngs"]
+
+
+def replica_rngs(seed0: int, nreplicas: int) -> List[np.random.Generator]:
+    """Independent per-replica generators for an ensemble of schedules.
+
+    Replica *r* gets ``as_rng(seed0 + r)`` — bitwise the stream a
+    sequential ensemble hands its engine when it runs
+    ``dataclasses.replace(config, seed=seed0 + r)`` — so a batched engine
+    drawing replica *r*'s schedule from ``replica_rngs(seed0, R)[r]``
+    reproduces the sequential run for seed ``seed0 + r`` exactly.
+    """
+    if nreplicas < 1:
+        raise ValueError("nreplicas must be >= 1")
+    return [as_rng(seed0 + r) for r in range(nreplicas)]
 
 #: Recognised update-order policies.
 UPDATE_ORDERS = ("synchronous", "sequential", "reversed", "random", "gpu")

@@ -8,12 +8,19 @@ share one fault study) to their shared runner.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from .report import ExperimentResult
 
-__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "supports_batched",
+]
 
 Runner = Callable[[bool], ExperimentResult]
 
@@ -85,6 +92,27 @@ def get_experiment(experiment_id: str) -> Experiment:
     return EXPERIMENTS[key]
 
 
-def run_experiment(experiment_id: str, *, quick: bool = True) -> ExperimentResult:
-    """Run one experiment and return its result."""
-    return get_experiment(experiment_id).runner(quick)
+def supports_batched(experiment: Experiment) -> bool:
+    """Whether the experiment's runner takes a ``batched`` keyword."""
+    return "batched" in inspect.signature(experiment.runner).parameters
+
+
+def run_experiment(
+    experiment_id: str, *, quick: bool = True, batched: Optional[bool] = None
+) -> ExperimentResult:
+    """Run one experiment and return its result.
+
+    *batched* selects the ensemble execution path (``--batched`` /
+    ``--no-batched`` on the CLI) for the experiments that run replica
+    ensembles or async convergence histories; ``None`` keeps each
+    experiment's default.  Passing an explicit value to an experiment
+    that has no such path is an error, not a silent no-op.
+    """
+    exp = get_experiment(experiment_id)
+    if batched is None:
+        return exp.runner(quick)
+    if not supports_batched(exp):
+        raise ValueError(
+            f"experiment {exp.id} has no batched/sequential execution choice"
+        )
+    return exp.runner(quick, batched=batched)

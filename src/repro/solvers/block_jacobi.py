@@ -27,7 +27,38 @@ import numpy as np
 from ..sparse import BlockRowView, CSRMatrix
 from .base import IterativeSolver, StoppingCriterion
 
-__all__ = ["BlockJacobiSolver"]
+__all__ = ["BlockJacobiSolver", "local_jacobi_sweeps"]
+
+
+def local_jacobi_sweeps(
+    local_off: CSRMatrix,
+    diag: np.ndarray,
+    s: np.ndarray,
+    z: np.ndarray,
+    sweeps: int,
+    *,
+    omega: float = 1.0,
+) -> np.ndarray:
+    """*sweeps* Jacobi iterations on one block with the off-block part frozen.
+
+    The shared inner kernel of the two-stage methods and the asynchronous
+    engines (Algorithm 1's inner loop): iterate ``z ← (s − L z) / d`` with
+    optional ω-relaxation, where *local_off* is the block's in-block
+    off-diagonal part in **block-local column numbering**
+    (:meth:`repro.sparse.RowBlock.local_off_compressed`) and ``s`` is the
+    frozen contribution ``b_block − A_external · x_read``.
+
+    ``s`` and ``z`` broadcast: pass ``(bs,)`` vectors for a single iterate
+    or ``(R, bs)`` multi-vectors to advance R replicas at once — the
+    multi-vector path is bitwise identical to R separate 1-D calls.  *z*
+    is not modified; the final iterate is returned.
+    """
+    for _ in range(sweeps):
+        new = (s - local_off.matvec(z)) / diag
+        if omega != 1.0:
+            new = (1.0 - omega) * z + omega * new
+        z = new
+    return z
 
 
 @dataclass
@@ -100,9 +131,6 @@ class BlockJacobiSolver(IterativeSolver):
 
         view = state.view
         new = state.scratch
-        # One shared workspace: each block's local_off only reads the
-        # block's own rows, so blocks may scribble into it independently.
-        full = x.copy() if self.inner == "jacobi" else None
         for bid, blk in enumerate(view.blocks):
             s = state.b[blk.rows] - blk.external.matvec(x)
             if self.inner == "exact":
@@ -110,10 +138,8 @@ class BlockJacobiSolver(IterativeSolver):
             else:
                 # Inner Jacobi against the frozen off-block contribution,
                 # warm-started from the current outer iterate.
-                z = x[blk.rows]
-                for _ in range(self.inner_sweeps):
-                    full[blk.rows] = z
-                    z = (s - blk.local_off.matvec(full)) / blk.diag
-                new[blk.rows] = z
+                new[blk.rows] = local_jacobi_sweeps(
+                    blk.local_off_compressed(), blk.diag, s, x[blk.rows], self.inner_sweeps
+                )
         x[:] = new
         return x

@@ -16,7 +16,7 @@ asynchronous engine's hot loop is nothing but slim vectorized kernels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -103,6 +103,24 @@ class RowBlock:
     diag: np.ndarray
     local_off: CSRMatrix
     external: CSRMatrix
+    _local_c: Optional[CSRMatrix] = field(default=None, repr=False, compare=False)
+
+    def local_off_compressed(self) -> CSRMatrix:
+        """``local_off`` with its columns shifted into block-local numbering.
+
+        Shape ``(nrows, nrows)``: entry ``(i, j)`` couples local rows *i*
+        and *j* of this block.  Multiplying it against the block-local
+        iterate slice ``x[start:stop]`` is bitwise identical to multiplying
+        ``local_off`` against the full-length iterate (same entries, same
+        order) — this is the kernel the multi-vector engines use so local
+        sweeps never touch full-length vectors.
+        """
+        if self._local_c is None:
+            lo = self.local_off
+            self._local_c = CSRMatrix(
+                lo.indptr, lo.indices - self.start, lo.data, (self.nrows, self.nrows), check=False
+            )
+        return self._local_c
 
     @property
     def nrows(self) -> int:
@@ -182,6 +200,57 @@ class BlockRowView:
                     "Jacobi-type local sweeps are undefined"
                 )
             self.blocks.append(RowBlock(k, start, stop, diag, local_off, external))
+        self._ext_matrix: Optional[CSRMatrix] = None
+        self._local_matrix: Optional[CSRMatrix] = None
+        self._diag: Optional[np.ndarray] = None
+
+    def _stack_blocks(self, parts: List[CSRMatrix]) -> CSRMatrix:
+        """Vertically restack per-block CSR parts into one (n, n) matrix.
+
+        Blocks partition the rows contiguously, so global row *i*'s entries
+        are exactly its owning block's local row — same entries, same
+        order.  A single multi-vector ``matvec`` against the stack is
+        therefore bitwise identical to the per-block matvecs of a sweep.
+        """
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        nnz = 0
+        for blk, part in zip(self.blocks, parts):
+            indptr[blk.start + 1 : blk.stop + 1] = nnz + part.indptr[1:]
+            nnz += part.nnz
+        return CSRMatrix(
+            indptr,
+            np.concatenate([p.indices for p in parts]) if parts else np.zeros(0, np.int64),
+            np.concatenate([p.data for p in parts]) if parts else np.zeros(0),
+            (self.n, self.n),
+            check=False,
+        )
+
+    def external_matrix(self) -> CSRMatrix:
+        """All blocks' external parts restacked into one (n, n) CSR (cached).
+
+        Row *i* holds the entries of row *i* of A whose columns fall outside
+        *i*'s block — Eq. (4)'s "global part" for the whole system at once.
+        """
+        if self._ext_matrix is None:
+            self._ext_matrix = self._stack_blocks([blk.external for blk in self.blocks])
+        return self._ext_matrix
+
+    def local_offdiag_matrix(self) -> CSRMatrix:
+        """All blocks' in-block off-diagonal parts as one (n, n) CSR (cached).
+
+        Block-diagonal by construction: a multi-vector Jacobi sweep against
+        it advances every block's local iteration simultaneously, bitwise
+        identical to the per-block sweeps (no block reads another's rows).
+        """
+        if self._local_matrix is None:
+            self._local_matrix = self._stack_blocks([blk.local_off for blk in self.blocks])
+        return self._local_matrix
+
+    def diagonal_vector(self) -> np.ndarray:
+        """The system diagonal as one length-n vector (cached)."""
+        if self._diag is None:
+            self._diag = np.concatenate([blk.diag for blk in self.blocks])
+        return self._diag
 
     @property
     def nblocks(self) -> int:

@@ -1,10 +1,13 @@
 """Compressed-sparse-row matrix: the compute format of :mod:`repro`.
 
 The implementation follows the HPC-in-Python rules the package is built
-around: no Python-level loops over rows or nonzeros in any hot path; row
-reductions use ``np.add.reduceat`` over the nonempty-row starts (exact
-segment sums, robust to empty rows); all temporaries are reused through
-``out=`` parameters where the call sites are hot.
+around: no Python-level loops over rows or nonzeros in any hot path; all
+temporaries are reused through ``out=`` parameters where the call sites are
+hot.  Products run over an ELL-style row-length-class packing (see
+:meth:`CSRMatrix._ell_plan`) whose summation order per row depends on that
+row's length alone, so single-vector, multi-vector and restacked-matrix
+products are all bitwise consistent; ``np.add.reduceat`` remains for rows
+too wide to pack and for plain segment reductions.
 """
 
 from __future__ import annotations
@@ -19,17 +22,24 @@ __all__ = ["CSRMatrix"]
 
 
 def _segment_sums(values: np.ndarray, indptr: np.ndarray, out: np.ndarray) -> np.ndarray:
-    """Row-wise sums of *values* segmented by *indptr*, written into *out*.
+    """Segment sums of *values* along the last axis, written into *out*.
 
-    Handles empty rows exactly: ``np.add.reduceat`` is applied to the starts
-    of the *nonempty* rows only, so consecutive reduceat boundaries are the
-    true row boundaries and no clipping corrections are needed.
+    *values* is ``(nnz,)`` or ``(R, nnz)`` (one multi-vector row per
+    replica); segments are given by *indptr*.  Handles empty rows exactly:
+    ``np.add.reduceat`` is applied to the starts of the *nonempty* rows
+    only, so consecutive reduceat boundaries are the true row boundaries
+    and no clipping corrections are needed.  ``reduceat`` applies the same
+    (unrolled pairwise) accumulation per segment whether *values* is 1-D
+    or 2-D, so the 2-D path is bitwise identical to R separate 1-D calls —
+    but note the order is NOT plain left-to-right for segments of 8+
+    entries, which is why the packed kernel below must be used either for
+    both of a comparison's sides or for neither.
     """
     starts = indptr[:-1]
     nonempty = indptr[1:] > starts
-    out[:] = 0.0
-    if values.size:
-        out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    out[...] = 0.0
+    if values.shape[-1]:
+        out[..., nonempty] = np.add.reduceat(values, starts[nonempty], axis=-1)
     return out
 
 
@@ -52,13 +62,14 @@ class CSRMatrix:
         construct already-valid arrays pass ``check=False``).
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape")
+    __slots__ = ("indptr", "indices", "data", "shape", "_ell")
 
     def __init__(self, indptr, indices, data, shape: Tuple[int, int], *, check: bool = True):
         self.indptr = as_index_array(indptr, "indptr")
         self.indices = as_index_array(indices, "indices")
         self.data = as_float_array(data, "data")
         self.shape = (int(shape[0]), int(shape[1]))
+        self._ell = None
         if check:
             self._validate()
 
@@ -158,19 +169,135 @@ class CSRMatrix:
     # core kernels
     # ------------------------------------------------------------------ #
 
-    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Sparse matrix-vector product ``y = A @ x``.
+    #: Widest row packed into a length-class panel; longer rows go through
+    #: reduceat (the panel reduction is a Python loop over the width).
+    _ELL_MAX_WIDTH = 64
 
-        ``x`` must have length ``ncols``; ``out``, if given, must have length
-        ``nrows`` and is overwritten and returned.
+    def _ell_plan(self):
+        """Entries regrouped by row nonzero count, built lazily on first use.
+
+        reduceat pays a per-*segment* dispatch cost that never amortises
+        over replicas, so multi-vector products were segment-bound.  The
+        plan permutes the entries so rows of equal length L sit in one
+        contiguous run: a product then does a single flat gather/multiply
+        over all nonzeros and reduces each run as an ELL-style ``(n_c,
+        L)`` panel (the classic GPU SpMV layout) with L-1 vectorized column
+        additions — strict left-to-right accumulation per row.  Rows wider
+        than :data:`_ELL_MAX_WIDTH` keep using reduceat over their run
+        (their segments dominate their own cost anyway).
+
+        How a row is summed is therefore a function of that row's length
+        *alone*.  This keeps every product in the package bitwise
+        consistent: 1-D and multi-vector kernels of one matrix agree, and
+        so do different matrices sharing rows — a per-block external part
+        and the whole-system restacked external matrix produce identical
+        row results, which the batched replica engine's exactness contract
+        relies on.  Assumes the matrix is not mutated in place after first
+        use (nothing in the package does).
+
+        Plan layout: ``(cols, data, runs, empty_rows)`` where *cols*/*data*
+        are the permuted entry arrays and each run is ``(rows, lo, hi,
+        width, seg_starts)`` — entries ``[lo, hi)``, panel width (0 = use
+        reduceat at the run-relative *seg_starts*).
+        """
+        if self._ell is None:
+            lengths = np.diff(self.indptr)
+            starts = self.indptr[:-1]
+            runs = []
+            parts = []
+            off = 0
+            for L in np.unique(lengths):
+                if L == 0:
+                    continue
+                rows_c = np.flatnonzero(lengths == L)
+                if L <= self._ELL_MAX_WIDTH:
+                    entry = (starts[rows_c][:, None] + np.arange(L)).ravel()
+                    runs.append((rows_c, off, off + len(entry), int(L), None))
+                else:
+                    entry = np.concatenate(
+                        [np.arange(starts[r], self.indptr[r + 1]) for r in rows_c]
+                    )
+                    seg_starts = np.zeros(len(rows_c), dtype=np.int64)
+                    np.cumsum(lengths[rows_c][:-1], out=seg_starts[1:])
+                    runs.append((rows_c, off, off + len(entry), 0, seg_starts))
+                parts.append(entry)
+                off += len(entry)
+            perm = (
+                np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+            )
+            self._ell = (
+                self.indices[perm],
+                self.data[perm],
+                runs,
+                np.flatnonzero(lengths == 0),
+            )
+        return self._ell
+
+    def _packed_product(self, gather_cols, out: np.ndarray) -> np.ndarray:
+        """SpMV over the length-class entry runs, 1-D or multi-vector.
+
+        *gather_cols* maps the plan's flat column array to the operand
+        values at those columns (any multi-vector axes leading); the
+        products are then reduced run by run, packed runs left to right
+        along the row, long-row runs via reduceat.
+        """
+        cols, data, runs, empty = self._ell_plan()
+        vals = data * gather_cols(cols)
+        for rows_c, lo, hi, width, seg_starts in runs:
+            if width:
+                v = vals[..., lo:hi].reshape(vals.shape[:-1] + (len(rows_c), width))
+                acc = v[..., 0].copy()
+                for j in range(1, width):
+                    acc += v[..., j]
+                out[..., rows_c] = acc
+            else:
+                out[..., rows_c] = np.add.reduceat(vals[..., lo:hi], seg_starts, axis=-1)
+        if len(empty):
+            out[..., empty] = 0.0
+        return out
+
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Sparse matrix-(multi-)vector product ``y = A @ x``.
+
+        ``x`` is either a single vector of length ``ncols`` or an ``(R,
+        ncols)`` multi-vector (one iterate per row), giving ``y`` of shape
+        ``(nrows,)`` / ``(R, nrows)``.  ``out``, if given, must have the
+        result shape and is overwritten and returned.  The multi-vector
+        path is bitwise identical to R separate 1-D calls (same per-entry
+        products, same left-to-right segment accumulation).
         """
         x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.ncols,):
-            raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
+        if x.ndim == 1:
+            if x.shape != (self.ncols,):
+                raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
+            if out is None:
+                out = np.empty(self.nrows)
+            return self._packed_product(lambda cols: x[cols], out)
+        elif x.ndim == 2:
+            if x.shape[1] != self.ncols:
+                raise ValueError(f"x must have shape (R, {self.ncols}), got {x.shape}")
+            if out is None:
+                out = np.empty((x.shape[0], self.nrows))
+            return self._packed_product(lambda cols: x[:, cols], out)
+        else:
+            raise ValueError(f"x must be 1-D or 2-D, got ndim={x.ndim}")
+
+    def matvec_rows(
+        self, X: np.ndarray, rows: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """``y[i] = A @ X[rows[i]]`` without materialising ``X[rows]``.
+
+        Gather-SpMV over a subset of multi-vector rows: only the ``(len(rows),
+        nnz)`` entry gather is formed, never the ``(len(rows), ncols)`` row
+        copy.  Bitwise identical to ``matvec(X[r])`` per selected row.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.int64)
+        if X.ndim != 2 or X.shape[1] != self.ncols:
+            raise ValueError(f"X must have shape (R, {self.ncols}), got {X.shape}")
         if out is None:
-            out = np.empty(self.nrows)
-        prod = self.data * x[self.indices]
-        return _segment_sums(prod, self.indptr, out)
+            out = np.empty((len(rows), self.nrows))
+        return self._packed_product(lambda cols: X[rows[:, None], cols], out)
 
     def __matmul__(self, x):
         return self.matvec(x)
@@ -184,7 +311,12 @@ class CSRMatrix:
         return np.bincount(self.indices, weights=contrib, minlength=self.ncols)
 
     def residual(self, x: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Residual ``r = b - A @ x``."""
+        """Residual ``r = b - A @ x``.
+
+        ``x`` may be a single vector or an ``(R, ncols)`` multi-vector; *b*
+        broadcasts against the result (one shared right-hand side for all
+        replicas, or a per-replica ``(R, nrows)`` stack).
+        """
         r = self.matvec(x, out=out)
         np.subtract(b, r, out=r)
         return r

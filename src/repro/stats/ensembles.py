@@ -4,24 +4,118 @@ Runs the same solver configuration many times, varying only the seed — the
 software analogue of re-launching the same CUDA binary and letting the
 hardware scheduler pick a different interleaving each time — and aggregates
 the residual histories into :class:`repro.stats.EnsembleStats`.
+
+Two execution paths produce bitwise-identical statistics:
+
+* **batched** (default for config-driven ensembles) — the R replica
+  iterates are stacked as an ``(R, n)`` multi-vector and advanced together
+  by :class:`repro.core.BatchedAsyncEngine`: the block decomposition is
+  built once instead of R times, and every sweep runs a handful of
+  multi-vector kernels instead of R scalar solves;
+* **sequential** (fallback) — one :class:`repro.core.BlockAsyncSolver`
+  solve per seed.  Used automatically whenever a custom *factory* is given
+  (the factory may configure faults, custom stopping rules, or an entirely
+  different solver — none of which the batched engine models).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import dataclasses
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.block_async import BlockAsyncSolver
+from ..core.engine import BatchedAsyncEngine
 from ..core.schedules import AsyncConfig
 from ..solvers.base import SolveResult, StoppingCriterion
-from ..sparse import CSRMatrix
+from ..sparse import BlockRowView, CSRMatrix
 from .runstats import EnsembleStats
 
 __all__ = ["run_ensemble"]
 
 #: A factory mapping a seed to a configured solver.
 SolverFactory = Callable[[int], BlockAsyncSolver]
+
+
+def _pad_history(h: np.ndarray, iterations: int) -> np.ndarray:
+    """Align one run's history to the fixed ensemble length.
+
+    Runs may legitimately stop early — an exact-zero residual satisfies
+    even ``tol=0``, and divergence aborts the loop — in which case the
+    final value is held; a history *longer* than ``iterations + 1`` means
+    the solver ignored the requested iteration budget and aggregating it
+    would silently misalign every checkpoint, so it is an error.
+    """
+    if len(h) > iterations + 1:
+        raise ValueError(
+            f"history has {len(h) - 1} iterations, more than the requested "
+            f"{iterations}; the solver ignored the ensemble's maxiter "
+            "(factories must respect the stopping rule run_ensemble installs)"
+        )
+    if len(h) < iterations + 1:
+        h = np.concatenate([h, np.full(iterations + 1 - len(h), h[-1])])
+    return h
+
+
+def _batched_histories(
+    A: CSRMatrix,
+    b: np.ndarray,
+    nruns: int,
+    iterations: int,
+    config: AsyncConfig,
+    seed0: int,
+    relative: bool,
+) -> List[np.ndarray]:
+    """All R residual histories from one multi-vector solve.
+
+    Reproduces, bitwise, the histories of R sequential
+    :class:`BlockAsyncSolver` solves with seeds ``seed0 .. seed0+R-1`` and
+    stopping ``tol=0, maxiter=iterations``: same sweeps (the engine's
+    exactness contract), same residual evaluations (multi-vector SpMV is
+    bitwise identical per row; norms are taken per replica row), same
+    early-exit rules (exact zero → converged, non-finite/huge → diverged).
+    """
+    n = A.shape[0]
+    view = BlockRowView(A, block_size=config.block_size)
+    engine = BatchedAsyncEngine(view, b, config, nruns, seed0=seed0)
+    stopping = StoppingCriterion(tol=0.0, maxiter=iterations)
+    b_norm = float(np.linalg.norm(b))
+    threshold = stopping.threshold(b_norm)
+
+    X = np.zeros((nruns, n))
+    # x0 = 0 for every replica, so the initial residual is shared.
+    r0 = float(np.linalg.norm(A.residual(np.zeros(n), b)))
+    histories: List[List[float]] = [[r0] for _ in range(nruns)]
+    active = list(range(nruns)) if r0 > threshold else []
+
+    res_row = np.empty(n)
+    for _ in range(iterations):
+        if not active:
+            break
+        reps = np.asarray(active, dtype=np.int64)
+        engine.sweep(X, reps)
+        still = []
+        for i, r in enumerate(active):
+            # One cache-resident 1-D residual per replica — bitwise the
+            # sequential solver's own evaluation, and faster on a CPU than
+            # the (R, nnz) multi-vector gather.
+            A.matvec(X[r], out=res_row)
+            np.subtract(b, res_row, out=res_row)
+            res = float(np.linalg.norm(res_row))
+            histories[r].append(res)
+            if res <= threshold or stopping.diverged(res):
+                continue  # frozen from here on, like a sequential early exit
+            still.append(r)
+        active = still
+
+    out = []
+    for hist in histories:
+        h = np.array(hist)
+        if relative and b_norm > 0:
+            h = h / b_norm
+        out.append(_pad_history(h, iterations))
+    return out
 
 
 def run_ensemble(
@@ -35,8 +129,18 @@ def run_ensemble(
     checkpoints: Sequence[int] = (),
     relative: bool = True,
     seed0: int = 0,
+    batched: Optional[bool] = None,
 ) -> EnsembleStats:
     """Run *nruns* fixed-length solves and aggregate their histories.
+
+    **Fixed-length-history contract**: every run contributes a history of
+    exactly ``iterations + 1`` residuals (the initial residual plus one per
+    global iteration).  Config-driven runs are executed with ``tol=0`` so
+    they never stop early; factory-built solvers keep their own tolerance
+    and divergence limit but have their ``maxiter`` capped at *iterations*,
+    and any run that stops early (exact-zero residual, factory tolerance
+    met, divergence) is padded by holding its final value.  A history
+    *longer* than the contract raises :class:`ValueError`.
 
     Parameters
     ----------
@@ -46,11 +150,11 @@ def run_ensemble(
         Ensemble size (the paper uses 1000; the benchmarks default lower
         and scale up via ``REPRO_RUNS``).
     iterations:
-        Global iterations per run (tolerance is disabled so every history
-        has the same length).
+        Global iterations per run.
     factory:
         Seed → solver mapping; defaults to :class:`BlockAsyncSolver` with
-        *config* (which then must be given) re-seeded per run.
+        *config* (which then must be given) re-seeded per run.  The
+        factory's stopping rule is preserved except for ``maxiter``.
     checkpoints:
         Iteration indices to aggregate at (default: all).
     relative:
@@ -58,32 +162,52 @@ def run_ensemble(
         instead of absolute ones.
     seed0:
         First seed; runs use ``seed0, seed0+1, ...``.
+    batched:
+        Execution path.  ``None`` (default) picks the batched multi-vector
+        engine for config-driven ensembles and the sequential per-seed
+        loop whenever *factory* is given — custom factories may install
+        faults or non-default solvers the batched engine does not model.
+        ``True`` forces the batched path (an error with *factory*);
+        ``False`` forces the sequential path.  Both paths are bitwise
+        identical for config-driven ensembles.
     """
     if nruns < 1:
         raise ValueError("nruns must be >= 1")
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
+    if factory is None and config is None:
+        raise ValueError("pass either factory or config")
+    if batched is None:
+        batched = factory is None
+    if batched:
+        if factory is not None:
+            raise ValueError(
+                "batched=True requires a config-driven ensemble; custom "
+                "factories (faults, custom solvers) run sequentially"
+            )
+        histories = _batched_histories(
+            A, b, nruns, iterations, config, seed0, relative
+        )
+        return EnsembleStats.from_histories(histories, checkpoints)
+
     if factory is None:
-        if config is None:
-            raise ValueError("pass either factory or config")
-
-        import dataclasses
-
         base = config
+        stopping = StoppingCriterion(tol=0.0, maxiter=iterations)
 
         def factory(seed: int) -> BlockAsyncSolver:
-            return BlockAsyncSolver(dataclasses.replace(base, seed=seed))
+            return BlockAsyncSolver(
+                dataclasses.replace(base, seed=seed), stopping=stopping
+            )
 
-    stopping = StoppingCriterion(tol=0.0, maxiter=iterations)
     histories = []
     for r in range(nruns):
         solver = factory(seed0 + r)
-        solver.stopping = stopping
+        # Cap the iteration budget but keep the factory's tolerance and
+        # divergence limit — clobbering the whole rule silently discarded
+        # deliberately configured stopping behaviour.
+        if solver.stopping.maxiter != iterations:
+            solver.stopping = dataclasses.replace(solver.stopping, maxiter=iterations)
         result: SolveResult = solver.solve(A, b)
         h = result.relative_residuals() if relative else result.residuals
-        if len(h) < iterations + 1:
-            # The run hit an exact-zero residual early (tol=0 satisfied);
-            # pad with the final value so histories stay aligned.
-            h = np.concatenate([h, np.full(iterations + 1 - len(h), h[-1])])
-        histories.append(h)
+        histories.append(_pad_history(h, iterations))
     return EnsembleStats.from_histories(histories, checkpoints)

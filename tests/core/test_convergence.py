@@ -81,12 +81,24 @@ def test_predicted_iterations_validation():
 
 def test_well_posedness_conditions():
     counts = np.array([5, 5, 5])
-    assert check_well_posedness(counts, sweeps=5)
+    assert check_well_posedness(counts, sweeps=5, staleness_bound=2)
     # A starved block breaks condition (1).
-    assert not check_well_posedness(np.array([5, 2, 5]), sweeps=5)
+    assert not check_well_posedness(np.array([5, 2, 5]), sweeps=5, staleness_bound=2)
     # An unbounded shift breaks condition (2).
     assert not check_well_posedness(counts, sweeps=5, staleness_bound=10)
-    assert check_well_posedness(np.array([]), sweeps=3)
+    assert check_well_posedness(np.array([]), sweeps=3, staleness_bound=2)
+
+
+def test_well_posedness_requires_measured_bound():
+    # Condition (2) cannot be checked against an unknown shift function;
+    # the old behaviour silently assumed a bound of 2 and always "passed".
+    counts = np.array([5, 5, 5])
+    with pytest.raises(TypeError):
+        check_well_posedness(counts, sweeps=5)
+    with pytest.raises(ValueError, match="staleness_bound is required"):
+        check_well_posedness(counts, sweeps=5, staleness_bound=None)
+    with pytest.raises(ValueError):
+        check_well_posedness(counts, sweeps=5, staleness_bound=0)
 
 
 def test_well_posedness_from_real_run(small_spd):
@@ -98,4 +110,10 @@ def test_well_posedness_from_real_run(small_spd):
         AsyncConfig(local_iterations=2, block_size=10, seed=0),
         stopping=StoppingCriterion(tol=0.0, maxiter=12),
     ).solve(small_spd, b)
-    assert check_well_posedness(r.info["update_counts"], sweeps=12)
+    # The solver surfaces the scheduler's measured bound in the result.
+    assert r.info["staleness_bound"] == 2
+    assert check_well_posedness(
+        r.info["update_counts"],
+        sweeps=12,
+        staleness_bound=r.info["staleness_bound"],
+    )

@@ -272,3 +272,62 @@ def test_to_scipy_roundtrip(rng):
 def test_to_coo_roundtrip(rng):
     A, dense = dense_pair(rng)
     assert np.array_equal(A.to_coo().tocsr().to_dense(), dense)
+
+
+# --------------------------------------------------------------------- #
+# multi-vector products
+# --------------------------------------------------------------------- #
+
+
+def test_matvec_multivector_bitwise(rng):
+    # The (R, n) path must be bitwise the R stacked 1-D calls — the batched
+    # ensemble engine's exactness rests on this.
+    A, dense = dense_pair(rng, shape=(40, 30), thresh=0.5)
+    X = rng.standard_normal((5, 30))
+    Y = A.matvec(X)
+    assert Y.shape == (5, 40)
+    for r in range(5):
+        assert np.array_equal(Y[r], A.matvec(X[r]))
+
+
+def test_matvec_multivector_wide_rows(rng):
+    # Rows wider than the packed-panel cap reduce via reduceat; the 2-D
+    # path must still match the 1-D path entry for entry.
+    dense = rng.standard_normal((6, CSRMatrix._ELL_MAX_WIDTH + 40))
+    A = CSRMatrix.from_dense(dense)
+    X = rng.standard_normal((3, dense.shape[1]))
+    Y = A.matvec(X)
+    for r in range(3):
+        assert np.array_equal(Y[r], A.matvec(X[r]))
+
+
+def test_matvec_multivector_out_and_validation(rng):
+    A, _ = dense_pair(rng)
+    X = rng.standard_normal((4, 9))
+    out = np.empty((4, 12))
+    assert A.matvec(X, out=out) is out
+    with pytest.raises(ValueError):
+        A.matvec(np.ones((4, 8)))
+    with pytest.raises(ValueError):
+        A.matvec(np.ones((2, 4, 9)))
+
+
+def test_matvec_rows_bitwise(rng):
+    A, _ = dense_pair(rng, shape=(25, 18), thresh=0.6)
+    X = rng.standard_normal((7, 18))
+    rows = np.array([5, 0, 5, 3])
+    Y = A.matvec_rows(X, rows)
+    assert Y.shape == (4, 25)
+    for i, r in enumerate(rows):
+        assert np.array_equal(Y[i], A.matvec(X[r]))
+    with pytest.raises(ValueError):
+        A.matvec_rows(np.ones(18), rows)
+
+
+def test_residual_multivector(rng):
+    A, dense = dense_pair(rng, shape=(20, 20), thresh=0.6)
+    X = rng.standard_normal((3, 20))
+    b = rng.standard_normal(20)
+    R = A.residual(X, b)
+    for r in range(3):
+        assert np.array_equal(R[r], A.residual(X[r], b))

@@ -78,3 +78,87 @@ def test_ensemble_pads_early_converged(small_spd):
     s = run_ensemble(A, b, nruns=3, iterations=10, config=cfg)
     assert len(s.mean) == 11
     assert s.mean[-1] == 0.0
+
+
+def test_ensemble_batched_matches_sequential(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=2, block_size=10, order="gpu")
+    seq = run_ensemble(small_spd, b, 6, 8, config=cfg, batched=False)
+    bat = run_ensemble(small_spd, b, 6, 8, config=cfg, batched=True)
+    for field in ("mean", "max", "min", "variance"):
+        assert np.array_equal(getattr(seq, field), getattr(bat, field))
+
+
+def test_ensemble_batched_is_default_for_configs(small_spd, monkeypatch):
+    # Config-driven ensembles take the batched path unless told otherwise.
+    from repro.stats import ensembles
+
+    called = {}
+    orig = ensembles._batched_histories
+
+    def spy(*args, **kwargs):
+        called["batched"] = True
+        return orig(*args, **kwargs)
+
+    monkeypatch.setattr(ensembles, "_batched_histories", spy)
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=1, block_size=10)
+    run_ensemble(small_spd, b, 2, 3, config=cfg)
+    assert called.get("batched")
+
+
+def test_ensemble_batched_rejects_factory(small_spd):
+    b = small_spd.matvec(np.ones(60))
+
+    def factory(seed):
+        return BlockAsyncSolver(AsyncConfig(block_size=10, seed=seed))
+
+    with pytest.raises(ValueError, match="batched"):
+        run_ensemble(small_spd, b, 2, 3, factory=factory, batched=True)
+
+
+def test_ensemble_preserves_factory_stopping(small_spd):
+    # Only maxiter is capped; the factory's tolerance and divergence limit
+    # must survive (they used to be clobbered wholesale).
+    from repro.solvers import StoppingCriterion
+
+    b = small_spd.matvec(np.ones(60))
+    solvers = []
+
+    def factory(seed):
+        s = BlockAsyncSolver(
+            AsyncConfig(local_iterations=1, block_size=10, seed=seed),
+            stopping=StoppingCriterion(tol=1e-3, maxiter=99, divergence_limit=1e7),
+        )
+        solvers.append(s)
+        return s
+
+    run_ensemble(small_spd, b, 2, 5, factory=factory)
+    for s in solvers:
+        assert s.stopping.maxiter == 5
+        assert s.stopping.tol == 1e-3
+        assert s.stopping.divergence_limit == 1e7
+
+
+def test_ensemble_rejects_overlong_history(small_spd):
+    # A factory whose solver ignores the installed maxiter would silently
+    # misalign every checkpoint; that is an error, not a shrug.
+    from repro.solvers.base import SolveResult
+
+    b = small_spd.matvec(np.ones(60))
+
+    class RogueSolver(BlockAsyncSolver):
+        def solve(self, A, bb, x0=None):
+            return SolveResult(
+                x=np.zeros(60),
+                residuals=np.linspace(1.0, 0.1, 12),  # 11 iterations > 4
+                converged=False,
+                method="rogue",
+                b_norm=float(np.linalg.norm(bb)),
+            )
+
+    def factory(seed):
+        return RogueSolver(AsyncConfig(block_size=10, seed=seed))
+
+    with pytest.raises(ValueError, match="more than the requested"):
+        run_ensemble(small_spd, b, 2, 4, factory=factory)

@@ -1,0 +1,38 @@
+"""Tier-1 smoke test of the batched-ensemble benchmark.
+
+Loads ``benchmarks/bench_batched_ensemble.py`` as a module and runs its
+:func:`compare_ensemble_paths` at toy scale (R = 10, Trefethen-150), so the
+benchmark's machinery — both ensemble paths plus the bitwise comparison —
+is exercised on every test run without benchmark-scale wall-clock.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AsyncConfig
+from repro.matrices import trefethen
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_batched_ensemble.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_batched_ensemble", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_benchmark_smoke():
+    bench = _load_bench()
+    A = trefethen(150)
+    b = np.random.default_rng(0).standard_normal(A.shape[0])
+    cfg = AsyncConfig(local_iterations=2, block_size=32, order="gpu")
+    r = bench.compare_ensemble_paths(A, b, 10, 5, cfg)
+    assert r["nruns"] == 10
+    assert r["identical"], "batched and sequential ensemble paths disagree"
+    assert r["sequential_s"] > 0 and r["batched_s"] > 0
+    # Benchmark plumbing sanity: the scale table and report render.
+    assert 100 in bench.ensemble_sizes()
+    assert "speedup" in bench.render([r])
