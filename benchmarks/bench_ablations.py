@@ -9,7 +9,7 @@ def test_ablations(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("A1", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "A1-A5", result.render())
+    write_artifact(artifact_dir, "A1-A5", result.render(), data=result.to_dict())
 
     a1, a2, a3, a4, a5 = result.tables
 

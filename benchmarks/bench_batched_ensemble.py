@@ -18,6 +18,7 @@ smaller systems.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -105,17 +106,18 @@ def render(rows: list) -> str:
     return "\n".join(lines)
 
 
-def _write_artifact(text: str) -> Path:
+def _write_artifact(text: str, rows: list) -> Path:
     outdir = Path(__file__).parent / "artifacts"
     outdir.mkdir(exist_ok=True)
     path = outdir / "batched_ensemble.txt"
     path.write_text(text + "\n")
+    (outdir / "batched_ensemble.json").write_text(json.dumps(rows, indent=2) + "\n")
     return path
 
 
 def test_batched_ensemble_speedup():
     rows = run_benchmark()
-    _write_artifact(render(rows))
+    _write_artifact(render(rows), rows)
     for r in rows:
         assert r["identical"], f"paths disagree at R={r['nruns']}"
     by_r = {r["nruns"]: r for r in rows}
@@ -129,7 +131,7 @@ if __name__ == "__main__":
     rows = run_benchmark()
     text = render(rows)
     print(text)
-    print(f"\nwrote {_write_artifact(text)}")
+    print(f"\nwrote {_write_artifact(text, rows)}")
     ok = all(r["identical"] for r in rows) and (
         {r["nruns"]: r for r in rows}[100]["speedup"] >= MIN_SPEEDUP_R100
     )

@@ -9,7 +9,7 @@ def test_async_preconditioned_cg(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("X2", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "X2", result.render())
+    write_artifact(artifact_dir, "X2", result.render(), data=result.to_dict())
 
     for row in result.tables[0].rows:
         name, cg_iters, pcg_iters, ratio, t_cg, t_pcg = row

@@ -9,7 +9,7 @@ def test_multigrid_smoother_ablation(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("X1", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "X1", result.render())
+    write_artifact(artifact_dir, "X1", result.render(), data=result.to_dict())
 
     two_sweep = {row[0]: row[3] for row in result.tables[0].rows if row[1] == 2}
     # async smoothing sits between damped Jacobi and Gauss-Seidel, and all

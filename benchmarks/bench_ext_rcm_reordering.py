@@ -9,7 +9,7 @@ def test_rcm_reordering(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("X3", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "X3", result.render())
+    write_artifact(artifact_dir, "X3", result.render(), data=result.to_dict())
 
     rows = {row[0]: row for row in result.tables[0].rows}
     # RCM substantially reduces the bandwidth...

@@ -9,7 +9,7 @@ def test_silent_error_detection(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("X4", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "X4", result.render())
+    write_artifact(artifact_dir, "X4", result.render(), data=result.to_dict())
 
     # Every injected corruption (even 0.1%) is caught, quickly.
     for corruption, t0, first, latency, reason in result.tables[0].rows:

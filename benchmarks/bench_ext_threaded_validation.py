@@ -9,7 +9,7 @@ def test_threaded_validation(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("X5", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "X5", result.render())
+    write_artifact(artifact_dir, "X5", result.render(), data=result.to_dict())
 
     for name, sim_iters, med, lo, hi in result.tables[0].rows:
         # The threaded engine converged every time (counts are finite and

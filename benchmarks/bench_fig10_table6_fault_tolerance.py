@@ -10,7 +10,7 @@ def test_fault_tolerance_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("F10", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "F10_T6", result.render())
+    write_artifact(artifact_dir, "F10_T6", result.render(), data=result.to_dict())
 
     # Table 6 shape: recovery delay grows with t_r; no recovery stagnates.
     for row in result.tables[0].rows:

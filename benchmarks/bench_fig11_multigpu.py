@@ -9,7 +9,7 @@ def test_fig11_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("F11", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "F11", result.render())
+    write_artifact(artifact_dir, "F11", result.render(), data=result.to_dict())
 
     rows = {row[0]: row[1:] for row in result.tables[0].rows}
     amc, dc, dk = rows["AMC"], rows["DC"], rows["DK"]

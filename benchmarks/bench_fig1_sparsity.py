@@ -9,7 +9,7 @@ def test_fig1_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("F1", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "F1", result.render())
+    write_artifact(artifact_dir, "F1", result.render(), data=result.to_dict())
 
     rows = {row[0]: row for row in result.tables[0].rows}
     # The structural facts the paper's arguments rest on:

@@ -9,7 +9,7 @@ def test_fig6_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("F6", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "F6", result.render())
+    write_artifact(artifact_dir, "F6", result.render(), data=result.to_dict())
 
     rows = {row[0]: row for row in result.tables[0].rows}
 

@@ -9,7 +9,7 @@ def test_fig7_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("F7", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "F7", result.render())
+    write_artifact(artifact_dir, "F7", result.render(), data=result.to_dict())
 
     rows = {row[0]: row for row in result.tables[0].rows}
 

@@ -10,7 +10,7 @@ def test_fig8_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("F8", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "F8", result.render())
+    write_artifact(artifact_dir, "F8", result.render(), data=result.to_dict())
 
     s = result.series["fig8_fv3"]
     gs = s["Gauss-Seidel (CPU)"]

@@ -9,7 +9,7 @@ def test_fig9_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("F9", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "F9", result.render())
+    write_artifact(artifact_dir, "F9", result.render(), data=result.to_dict())
 
     summary = {row[0]: row[1:] for row in result.tables[0].rows}
 

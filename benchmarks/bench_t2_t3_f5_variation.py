@@ -14,7 +14,7 @@ def test_variation_study(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("T2", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "T2_T3_F5", result.render())
+    write_artifact(artifact_dir, "T2_T3_F5", result.render(), data=result.to_dict())
 
     # Absolute variation decays exponentially in lockstep with the
     # residual (Figs. 5c/5d): the ratio abs_var/mean stays bounded while

@@ -9,7 +9,7 @@ def test_table1_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("T1", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "T1", result.render())
+    write_artifact(artifact_dir, "T1", result.render(), data=result.to_dict())
 
     rows = {row[0]: row for row in result.tables[0].rows}
     # rho(B) reproduced for every matrix (the convergence-governing value).

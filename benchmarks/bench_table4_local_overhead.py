@@ -10,7 +10,7 @@ def test_table4_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("T4", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "T4", result.render())
+    write_artifact(artifact_dir, "T4", result.render(), data=result.to_dict())
 
     # Model reproduces the paper's totals within fit accuracy.
     modelled = {row[0]: row[1:] for row in result.tables[0].rows}

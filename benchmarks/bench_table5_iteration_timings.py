@@ -10,7 +10,7 @@ def test_table5_regeneration(benchmark, artifact_dir, quick):
     result = benchmark.pedantic(
         lambda: run_experiment("T5", quick=quick), rounds=1, iterations=1
     )
-    write_artifact(artifact_dir, "T5", result.render())
+    write_artifact(artifact_dir, "T5", result.render(), data=result.to_dict())
 
     rows = {row[0]: row for row in result.tables[0].rows}
     for name, paper in PAPER_TABLE5.items():

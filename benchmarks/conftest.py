@@ -13,6 +13,7 @@ to override ensemble sizes.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -37,8 +38,26 @@ def quick() -> bool:
     return not is_full()
 
 
-def write_artifact(directory: Path, experiment_id: str, text: str) -> Path:
-    """Store one rendered artifact; returns the path."""
+def write_artifact(directory: Path, experiment_id: str, text: str, data=None) -> Path:
+    """Store one rendered artifact; returns the ``.txt`` path.
+
+    *data*, when given, is any JSON-serialisable object (typically
+    ``ExperimentResult.to_dict()``) written alongside as
+    ``<experiment_id>.json`` — the machine-readable twin of the rendered
+    text, so downstream tooling never has to parse ASCII tables.
+    """
     path = directory / f"{experiment_id}.txt"
     path.write_text(text + "\n")
+    if data is not None:
+        json_path = directory / f"{experiment_id}.json"
+        json_path.write_text(json.dumps(data, indent=2, default=_jsonable) + "\n")
     return path
+
+
+def _jsonable(obj):
+    """JSON fallback: numpy scalars/arrays to native Python."""
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serialisable: {type(obj)!r}")

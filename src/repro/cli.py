@@ -77,7 +77,11 @@ def _build_solver(args):
     if name == "chebyshev":
         return ChebyshevSolver(stopping=stopping)
     cfg = paper_async_config(
-        args.local_iterations, block_size=args.block_size, seed=args.seed, omega=args.omega
+        args.local_iterations,
+        block_size=args.block_size,
+        seed=args.seed,
+        omega=args.omega,
+        backend=args.backend,
     )
     return BlockAsyncSolver(cfg, stopping=stopping)
 
@@ -130,7 +134,12 @@ def _cmd_solve(args) -> int:
     A = _load_matrix(args.matrix)
     b = default_rhs(A, kind=args.rhs)
     solver = _build_solver(args)
-    result = solver.solve(A, b)
+    try:
+        result = solver.solve(A, b)
+    except ValueError as exc:
+        # e.g. --backend=fused in a regime where fusion is not exact.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rel = result.relative_residuals()
     if args.json:
         import json
@@ -209,6 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--tol", type=float, default=1e-10)
     ps.add_argument("--maxiter", type=int, default=1000)
     ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument(
+        "--backend",
+        choices=("auto", "fused", "reference"),
+        default="auto",
+        help="sweep execution backend for --solver=async (timing only; "
+        "iterates are bitwise identical wherever a backend may run)",
+    )
     ps.add_argument("--rhs", choices=("ones", "random", "unit"), default="ones")
     ps.add_argument("--history", action="store_true", help="print the residual history")
     ps.add_argument("--json", action="store_true", help="emit a JSON summary")

@@ -36,7 +36,10 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .._util import as_rng, check_vector
+from ..perf.backends import make_executor, resolve_backend
+from ..perf.plan import compile_sweep_plan, rhs_preserves_fold
 from ..sparse import BlockRowView
+from ..sparse.csr import scatter_add_fold
 from ..solvers.block_jacobi import local_jacobi_sweeps
 from .fault import FaultScenario
 from .schedules import AsyncConfig, WaveScheduler, replica_rngs
@@ -67,6 +70,16 @@ class AsyncEngine:
         Chazan–Miranker condition (1) check.
     sweep_index:
         Number of completed global sweeps.
+    backend:
+        Resolved sweep-execution backend (``"fused"`` or ``"reference"``,
+        see :mod:`repro.perf`): ``config.backend="auto"`` fuses the whole
+        sweep into stacked whole-system kernels wherever that is bitwise
+        the reference loop — snapshot-read regimes (γ ≡ 0) and
+        all-deferred writes, with no fault — and runs the per-block loop
+        everywhere else.
+    plan:
+        The compiled :class:`repro.perf.SweepPlan`, shared by every engine
+        built on the same :class:`~repro.sparse.BlockRowView`.
     """
 
     def __init__(
@@ -86,10 +99,6 @@ class AsyncEngine:
         self.scheduler = WaveScheduler(view.nblocks, config, self.rng)
         self.update_counts = np.zeros(view.nblocks, dtype=np.int64)
         self.sweep_index = 0
-        # Per-block right-hand-side slices (b never changes) and per-entry
-        # row indices of the external parts (for per-entry race mixing).
-        self._b_blocks = [self.b[blk.rows] for blk in view.blocks]
-        self._ext_rows = [blk.external._expanded_rows() for blk in view.blocks]
         # Fault support: per-block local indices of frozen rows, rebuilt
         # whenever the active frozen mask changes.
         self._frozen_mask: Optional[np.ndarray] = None
@@ -97,6 +106,17 @@ class AsyncEngine:
         # Healed components: reassigned to healthy cores (self-healing
         # recovery, repro.core.recovery) — exempt from any future fault.
         self._healed = np.zeros(view.n, dtype=bool)
+        # Compile (or reuse) the view's sweep plan and dispatch the sweep
+        # executor: fused whole-system kernels where exact, the per-block
+        # reference loop everywhere else (repro.perf).
+        self.plan = compile_sweep_plan(view)
+        self.backend = resolve_backend(
+            config,
+            self.scheduler,
+            has_fault=fault is not None,
+            rhs_fold_safe=rhs_preserves_fold(self.b),
+        )
+        self._executor = make_executor(self.backend, self)
 
     # ------------------------------------------------------------------ #
 
@@ -130,68 +150,14 @@ class AsyncEngine:
         everywhere makes the sweep a synchronous block-Jacobi step; γ = 1 a
         block Gauss-Seidel sweep in schedule order; the GPU reality is in
         between.
+
+        Execution is delegated to the backend resolved at construction
+        (:attr:`backend`): the fused whole-system kernel path where it is
+        bitwise-exact for this regime, the per-block reference loop
+        everywhere else.  Both live in :mod:`repro.perf.backends`; the
+        semantics described above are backend-independent.
         """
-        cfg = self.config
-        rng = self.rng
-        view = self.view
-        self._refresh_fault_state()
-        frozen = self._frozen_local if self._frozen_mask is not None else None
-
-        order, gamma = self.scheduler.plan_for_sweep(self.sweep_index, rng)
-        snapshot = x if np.all(gamma >= 1.0) else x.copy()
-        deferred: List[Tuple[slice, np.ndarray]] = []
-
-        for pos, bid in enumerate(order):
-            blk = view.blocks[bid]
-            rows = blk.rows
-            g = gamma[pos]
-            if g <= 0.0:
-                ext = blk.external.matvec(snapshot)
-            elif g >= 1.0:
-                ext = blk.external.matvec(x)
-            else:
-                # Per-entry races: each off-block component is, with
-                # probability γ, read after its owner's write from this
-                # sweep landed.  Systems with many small off-block
-                # couplings self-average (fv1's variation is tiny); systems
-                # with a few heavy ones do not (Trefethen's is not) — the
-                # §4.1 contrast emerges from the matrix, not from a knob.
-                ext = blk.external.matvec(snapshot)
-                e = blk.external
-                fresh = rng.random(len(e.data)) < g
-                if fresh.any():
-                    cols = e.indices[fresh]
-                    delta = e.data[fresh] * (x[cols] - snapshot[cols])
-                    np.add.at(ext, self._ext_rows[bid][fresh], delta)
-            s = self._b_blocks[bid] - ext
-
-            frozen_local = frozen[bid] if frozen is not None else None
-            defer = cfg.deferred_write_prob > 0.0 and rng.random() < cfg.deferred_write_prob
-            saved = x[rows].copy() if defer else None
-            for _ in range(cfg.local_iterations):
-                old_local = x[rows]
-                new_local = (s - blk.local_off.matvec(x)) / blk.diag
-                if cfg.omega != 1.0:
-                    new_local = (1.0 - cfg.omega) * old_local + cfg.omega * new_local
-                if frozen_local is not None and len(frozen_local):
-                    if self.fault is not None and self.fault.kind == "silent":
-                        # Silent errors (§4.5 outlook): the core computes,
-                        # but wrongly — every update is slightly off.
-                        new_local[frozen_local] *= self.fault.corruption
-                    else:
-                        # Broken cores never compute: their components keep
-                        # the stale value through every local sweep.
-                        new_local[frozen_local] = old_local[frozen_local]
-                x[rows] = new_local
-            if defer:
-                deferred.append((rows, x[rows].copy()))
-                x[rows] = saved
-            self.update_counts[bid] += 1
-
-        for rows, vals in deferred:
-            x[rows] = vals
-        self.sweep_index += 1
-        return x
+        return self._executor.sweep(x)
 
     # ------------------------------------------------------------------ #
 
@@ -226,15 +192,19 @@ class BatchedAsyncEngine:
       same position advance together.  The position barrier preserves the
       sequential data flow — a block reads live values only of blocks
       earlier in *its replica's* order;
-    * when every block reads the pure sweep-start snapshot (γ ≡ 0, e.g.
-      the ``"synchronous"`` order), block updates are order-independent
-      and the whole sweep collapses to one global multi-vector two-stage
-      update with no position loop at all.
+    * in the fused-exact regimes of :mod:`repro.perf` — every block reads
+      the pure sweep-start snapshot (γ ≡ 0, e.g. the ``"synchronous"``
+      order), or every write is deferred to the sweep end — block updates
+      are order-independent and the whole sweep collapses to one global
+      multi-vector two-stage update with no position loop at all
+      (``config.backend`` gates this exactly as it does the sequential
+      engine's fused executor).
 
     All 2-D kernels are bitwise identical to their stacked 1-D
     counterparts (the CSR length-class packing sums each row the same way
-    in every product, and ``np.add.at`` accumulates per-accumulator in
-    flat order), which the test suite asserts directly.
+    in every product, and both ``np.add.at`` and the segment-sum scatter
+    :func:`repro.sparse.scatter_add_fold` accumulate per accumulator in
+    listed order), which the test suite asserts directly.
 
     Fault scenarios are not supported — :func:`repro.stats.run_ensemble`
     falls back to the sequential path for those.
@@ -260,6 +230,13 @@ class BatchedAsyncEngine:
         ``(R, nblocks)`` per-replica block-update counts.
     sweep_index:
         Number of completed global sweeps.
+    backend:
+        Resolved sweep-execution backend (:mod:`repro.perf`): ``"fused"``
+        means whole sweeps collapse to global multi-vector updates,
+        ``"reference"`` means the position-grouped loop runs every sweep.
+    plan:
+        The compiled :class:`repro.perf.SweepPlan` shared with every
+        engine built on the same view.
     """
 
     def __init__(
@@ -284,10 +261,13 @@ class BatchedAsyncEngine:
         ]
         self.update_counts = np.zeros((self.nreplicas, view.nblocks), dtype=np.int64)
         self.sweep_index = 0
+        # The compiled sweep plan is shared with every sequential engine
+        # built on this view — index structures are compiled once per
+        # decomposition, not per engine (repro.perf).
+        self.plan = compile_sweep_plan(view)
         self._b_blocks = [self.b[blk.rows] for blk in view.blocks]
-        self._ext_rows = [blk.external._expanded_rows() for blk in view.blocks]
-        self._ext_nnz = [blk.external.nnz for blk in view.blocks]
-        self._local_c = [blk.local_off_compressed() for blk in view.blocks]
+        self._ext_rows = self.plan.ext_rows
+        self._local_c = self.plan.local_c
         self._E = view.external_matrix()
         self._ext_buf: Optional[np.ndarray] = None
         # Fused-path precomputes (see _sweep_fused).
@@ -295,11 +275,23 @@ class BatchedAsyncEngine:
         self._arange_rows = [
             np.arange(blk.start, blk.stop, dtype=np.int64) for blk in view.blocks
         ]
-        self._ennz = np.array(self._ext_nnz, dtype=np.int64)
+        self._ennz = self.plan.ennz
         self._e_indices = [blk.external.indices for blk in view.blocks]
         self._e_data = [blk.external.data for blk in view.blocks]
         self._diag_blocks = [blk.diag for blk in view.blocks]
         self._build_padded_plans()
+        # Backend resolution mirrors the sequential engine: the whole-sweep
+        # collapse (one global multi-vector two-stage update, no position
+        # loop) engages exactly where AsyncEngine's fused executor would —
+        # snapshot-read and all-deferred regimes — so replica r stays
+        # bitwise the sequential run regardless of which engine fused.
+        self._fold_safe = rhs_preserves_fold(self.b)
+        self.backend = resolve_backend(
+            config, self.schedulers[0], rhs_fold_safe=self._fold_safe
+        )
+        self.plan.warm_fused()
+        if self.backend != "fused":
+            self.plan.warm_reference()
 
     #: Groups smaller than this are folded into one fused per-position
     #: update instead of getting their own kernel calls.  With the "gpu"
@@ -451,19 +443,25 @@ class BatchedAsyncEngine:
                 for pos in range(nb):
                     if mixed[pos]:
                         g = gamma[pos]
-                        fresh[i][pos] = rng.random(self._ext_nnz[row[pos]]) < g
+                        fresh[i][pos] = rng.random(self._ennz[row[pos]]) < g
                     if draw_defer:
                         defer[i, pos] = rng.random() < cfg.deferred_write_prob
 
         all_live = bool(np.all(gamma >= 1.0))
+        collapse = self.backend == "fused"
         S = X if all_live else X.copy()
-        EXT = self._base_external(S, reps) if not all_live else None
+        EXT = self._base_external(S, reps) if (collapse or not all_live) else None
 
-        if np.all(gamma <= 0.0):
-            # Pure snapshot semantics: no block reads another block's
-            # current-sweep writes, so the whole sweep is one global
-            # multi-vector two-stage update (deferred writes land by sweep
-            # end on disjoint rows — the final state is identical).
+        if collapse:
+            # Fused whole-sweep collapse, in the exact regimes of
+            # repro.perf: with snapshot reads (γ ≡ 0) no block observes
+            # another's current-sweep writes; with all-deferred writes
+            # every write lands at the sweep end, so live reads — any γ —
+            # observe pre-sweep values and race corrections are exact
+            # signed zeros.  Either way the whole sweep is one global
+            # multi-vector two-stage update with no position loop at all
+            # (deferred writes land by sweep end on disjoint rows — the
+            # final state is identical).
             s_all = self.b - EXT
             Z = local_jacobi_sweeps(
                 view.local_offdiag_matrix(),
@@ -530,7 +528,18 @@ class BatchedAsyncEngine:
                             cols = e.indices[ei]
                             rg = rows_g[mi]
                             delta = e.data[ei] * (X[rg, cols] - S[rg, cols])
-                            np.add.at(ext, (mi, self._ext_rows[bid][ei]), delta)
+                            if self._fold_safe:
+                                # Segment-sum scatter (one bincount) in
+                                # place of np.add.at; per accumulator the
+                                # fold order is identical (base first,
+                                # then deltas in entry order).
+                                ext = scatter_add_fold(
+                                    ext,
+                                    mi * blk.nrows + self._ext_rows[bid][ei],
+                                    delta,
+                                )
+                            else:
+                                np.add.at(ext, (mi, self._ext_rows[bid][ei]), delta)
                 s = self._b_blocks[bid] - ext
                 z = local_jacobi_sweeps(
                     self._local_c[bid],
@@ -614,7 +623,10 @@ class BatchedAsyncEngine:
                 )[sel]
                 erep = np.repeat(rows_g, self._ennz[bids])[sel]
                 delta = edata * (X[erep, ecols] - S[erep, ecols])
-                np.add.at(ext, epos, delta)
+                if self._fold_safe:
+                    ext = scatter_add_fold(ext, epos, delta)
+                else:
+                    np.add.at(ext, epos, delta)
         s = np.concatenate([self._b_blocks[b] for b in bids])
         np.subtract(s, ext, out=s)
         d = np.concatenate([self._diag_blocks[b] for b in bids])

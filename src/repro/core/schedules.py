@@ -59,7 +59,7 @@ import numpy as np
 
 from .._util import RNGLike, as_rng
 
-__all__ = ["AsyncConfig", "WaveScheduler", "UPDATE_ORDERS", "replica_rngs"]
+__all__ = ["AsyncConfig", "WaveScheduler", "UPDATE_ORDERS", "BACKENDS", "replica_rngs"]
 
 
 def replica_rngs(seed0: int, nreplicas: int) -> List[np.random.Generator]:
@@ -77,6 +77,13 @@ def replica_rngs(seed0: int, nreplicas: int) -> List[np.random.Generator]:
 
 #: Recognised update-order policies.
 UPDATE_ORDERS = ("synchronous", "sequential", "reversed", "random", "gpu")
+
+#: Recognised sweep-execution backends (see :mod:`repro.perf`):
+#: ``"auto"`` fuses whole sweeps whenever that is exact for the configured
+#: regime and falls back to the per-block reference loop otherwise;
+#: ``"fused"`` demands the fused path (an error where it is not exact);
+#: ``"reference"`` forces the per-block loop everywhere.
+BACKENDS = ("auto", "fused", "reference")
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,10 @@ class AsyncConfig:
     pattern_pool / jitter_swaps:
         "gpu" order parameters: number of recurring patterns the scheduler
         cycles through, and random transpositions applied per sweep.
+    backend:
+        Sweep-execution backend, one of :data:`BACKENDS`.  An execution
+        strategy, not a semantic knob: every backend produces bitwise the
+        same iterates wherever it is allowed to run (:mod:`repro.perf`).
     seed:
         Master seed of the run — two runs with the same seed are bitwise
         identical; different seeds model different nondeterministic
@@ -118,6 +129,7 @@ class AsyncConfig:
     omega: float = 1.0
     pattern_pool: int = 4
     jitter_swaps: int = 2
+    backend: str = "auto"
     seed: RNGLike = 0
 
     def __post_init__(self) -> None:
@@ -139,6 +151,8 @@ class AsyncConfig:
             raise ValueError("pattern_pool must be >= 1")
         if self.jitter_swaps < 0:
             raise ValueError("jitter_swaps must be >= 0")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
 
     @property
     def method_name(self) -> str:
@@ -169,6 +183,7 @@ class WaveScheduler:
         self.concurrency = nblocks if conc is None else min(conc, nblocks)
         if config.order == "synchronous":
             self.concurrency = nblocks
+        self._gamma: Optional[np.ndarray] = None
         self._patterns: Optional[List[np.ndarray]] = None
         if config.order == "gpu":
             # The recurring pattern pool: the hardware scheduler's order is
@@ -222,13 +237,26 @@ class WaveScheduler:
         is large) — the §4.1 contrast is decided by the matrix, not by a
         knob.
         """
-        order = self.order_for_sweep(sweep, rng)
-        if self.config.order == "synchronous":
-            return order, np.zeros(self.nblocks)
-        gamma = np.full(self.nblocks, 1.0 - self.effective_stale_prob())
-        if self.concurrency < self.nblocks:
-            gamma[self.concurrency :] = 1.0  # the pipeline tail reads live
-        return order, gamma
+        return self.order_for_sweep(sweep, rng), self.gamma_profile()
+
+    def gamma_profile(self) -> np.ndarray:
+        """Per-position freshness fractions γ — deterministic and sweep-free.
+
+        γ is a device property (occupancy + staleness), not a draw: it
+        depends only on the configuration, so it is computed once and
+        cached, and the backend dispatch of :mod:`repro.perf` can classify
+        the execution regime at engine construction.  Callers must not
+        mutate the returned array.
+        """
+        if self._gamma is None:
+            if self.config.order == "synchronous":
+                self._gamma = np.zeros(self.nblocks)
+            else:
+                gamma = np.full(self.nblocks, 1.0 - self.effective_stale_prob())
+                if self.concurrency < self.nblocks:
+                    gamma[self.concurrency :] = 1.0  # the pipeline tail reads live
+                self._gamma = gamma
+        return self._gamma
 
     #: Residual-freshness cap for the "gpu" order: even among concurrent
     #: blocks, staggered completion means a few percent of reads see fresh

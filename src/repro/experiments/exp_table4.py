@@ -59,10 +59,12 @@ def run(quick: bool = True) -> ExperimentResult:
     sweeps = 20 if quick else 100
     measured_rows = []
     base_time = None
+    backend = None
     ks = (1, 2, 3, 5, 7, 9)
     for k in ks:
         cfg = paper_async_config(k, seed=0)
         engine = AsyncEngine(view, b, cfg)
+        backend = engine.backend
         x = np.zeros(A.shape[0])
         engine.sweep(x)  # warm-up (allocations, cache)
         t0 = time.perf_counter()
@@ -81,6 +83,8 @@ def run(quick: bool = True) -> ExperimentResult:
         f"calibrated per-extra-local-iteration cost fraction: {LOCAL_ITER_FRACTION:.4f} "
         "(paper: 'less than 5%'); async-(9) modelled overhead "
         f"{8 * LOCAL_ITER_FRACTION:.1%} (paper: 'less than 35%').",
+        f"measured sweeps ran on the '{backend}' execution backend (repro.perf); "
+        "benchmarks/bench_sweep_backends.py compares backends head to head.",
     ]
     return ExperimentResult(
         "T4", "Local-iteration overhead", [model_table, paper_table, measured_table], {}, notes

@@ -67,11 +67,14 @@ def paper_async_config(
     block_size: int = PAPER_BLOCK_SIZE,
     seed: int = 0,
     omega: float = 1.0,
+    backend: str = "auto",
 ) -> AsyncConfig:
     """The experiment-standard async-(k) configuration.
 
     Concurrency comes from the Fermi C2070 occupancy at the given thread
-    block size, as on the paper's hardware.
+    block size, as on the paper's hardware.  *backend* selects the sweep
+    execution strategy (:data:`repro.core.schedules.BACKENDS`) — a timing
+    knob only, never a change in iterates.
     """
     return AsyncConfig(
         local_iterations=local_iterations,
@@ -80,6 +83,7 @@ def paper_async_config(
         concurrency=occupancy(FERMI_C2070, block_size),
         seed=seed,
         omega=omega,
+        backend=backend,
     )
 
 

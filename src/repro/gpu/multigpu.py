@@ -254,6 +254,11 @@ class MultiDeviceEngine(AsyncEngine):
         if ngpus < 1:
             raise ValueError("ngpus must be >= 1")
         self.ngpus = ngpus
+        # This engine overrides sweep() with device-snapshot semantics the
+        # backend executors don't model, so it keeps its own per-block
+        # right-hand-side slices (the base engine's are plan/executor
+        # internals).
+        self._b_blocks = [self.b[blk.rows] for blk in view.blocks]
         self.assignment = device_partition(view.nblocks, ngpus)
         # Per block: split the external part into same-device columns
         # (read live) and remote columns (read from the sweep snapshot).

@@ -1,0 +1,46 @@
+"""Performance layer: sweep-plan compilation and backend dispatch.
+
+The engines in :mod:`repro.core` describe *what* a block-asynchronous
+sweep computes; this subpackage decides *how* it executes:
+
+* :class:`SweepPlan` (:mod:`repro.perf.plan`) compiles a block
+  decomposition, once, into the precomputed structures every execution
+  path consumes — warmed ELL gather plans, scatter segment ids, stacked
+  whole-system matrices;
+* :mod:`repro.perf.backends` dispatches each engine to a fused
+  whole-system executor wherever that is bitwise-exact for the configured
+  asynchronism regime, and to the (plan-accelerated) per-block reference
+  loop everywhere else.
+
+This mirrors how production asynchronous-solver stacks are organised
+(e.g. the backend-dispatched executors over precompiled per-subdomain
+plans of abstract asynchronous Schwarz solvers): the schedule semantics
+stay in one place, while execution strategies compete behind a dispatch
+seam that is observable only through timing.
+"""
+
+from .plan import SweepPlan, compile_sweep_plan, rhs_preserves_fold
+from .backends import (
+    FusedSweepExecutor,
+    ReferenceSweepExecutor,
+    fused_sweep_exact,
+    make_executor,
+    resolve_backend,
+)
+
+# The canonical backend-name tuple lives with AsyncConfig's validation;
+# imported last so `import repro.perf` works standalone (repro.core's
+# engine imports this package's submodules in turn).
+from ..core.schedules import BACKENDS
+
+__all__ = [
+    "SweepPlan",
+    "compile_sweep_plan",
+    "rhs_preserves_fold",
+    "BACKENDS",
+    "fused_sweep_exact",
+    "resolve_backend",
+    "make_executor",
+    "FusedSweepExecutor",
+    "ReferenceSweepExecutor",
+]

@@ -1,0 +1,169 @@
+"""Sweep-plan compilation: the block decomposition as precomputed kernels.
+
+The asynchronous engine's global sweep used to rebuild, on every visit to
+every block, the small index structures its kernels need — expanded row
+ids for the scatter of per-entry race corrections, right-hand-side slices,
+compressed local matrices — and built each block's ELL gather plan lazily
+inside the first timed sweep.  For fine decompositions (thousands of
+blocks) that bookkeeping, not arithmetic, dominated the time-per-iteration
+the paper's Figure 8 / Table 5 measure.
+
+:class:`SweepPlan` compiles the decomposition once, at first engine
+construction, into the structures both execution backends consume:
+
+* **per-block** (the reference loop): cached ELL gather plans for every
+  external and compressed-local part, per-entry scatter segment ids (the
+  ``np.bincount`` replacement for ``np.add.at``), per-block scatter bases
+  and external nonzero counts;
+* **whole-system** (the fused path): the restacked external and local
+  off-diagonal matrices with warmed gather plans, plus the concatenated
+  diagonal — one multi-vector-shaped kernel set for the entire sweep.
+
+The plan is attached to the :class:`repro.sparse.BlockRowView` itself
+(``view._perf_plan``), so every engine built on one view — sequential,
+batched, preconditioner-internal — shares a single compilation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..sparse import BlockRowView
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["SweepPlan", "compile_sweep_plan", "rhs_preserves_fold"]
+
+
+def rhs_preserves_fold(b: np.ndarray) -> bool:
+    """Whether *b* is free of ``-0.0`` entries.
+
+    The segment-sum scatter (:func:`repro.sparse.scatter_add_fold`) seeds
+    each accumulator with ``0.0 + base``, which differs from the in-place
+    fold only by flipping a ``-0.0`` base to ``+0.0`` — a difference that
+    can reach the iterate through ``s = b - ext`` only where *b* itself
+    holds a negative zero.  Every practically occurring right-hand side
+    passes; the backend dispatch degrades gracefully when one does not.
+    """
+    b = np.asarray(b)
+    return not bool(np.any((b == 0.0) & np.signbit(b)))
+
+
+class SweepPlan:
+    """Compiled execution structures of one block decomposition.
+
+    Built by :func:`compile_sweep_plan`; construction itself is cheap —
+    the heavier per-backend structures are materialised on demand by
+    :meth:`warm_reference` / :meth:`warm_fused` so an engine only pays for
+    the backend it runs.
+
+    Attributes
+    ----------
+    view:
+        The decomposition this plan compiles.
+    ennz:
+        Per-block external nonzero counts (freshness-draw sizes).
+    ell_plans_built:
+        Diagnostic: number of ELL gather plans this plan's warm calls have
+        constructed.  Stays constant across sweeps — plans are compiled
+        once and reused, which the test suite asserts.
+    """
+
+    def __init__(self, view: BlockRowView):
+        self.view = view
+        self.ennz = np.array([blk.external.nnz for blk in view.blocks], dtype=np.int64)
+        self._ext_rows: Optional[List[np.ndarray]] = None
+        self._scatter_base: Optional[List[np.ndarray]] = None
+        self._local_c: Optional[List[CSRMatrix]] = None
+        self._warmed_reference = False
+        self._warmed_fused = False
+
+    # ------------------------------------------------------------------ #
+    # reference-loop structures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ext_rows(self) -> List[np.ndarray]:
+        """Per-block scatter segment ids: local row of every external entry."""
+        if self._ext_rows is None:
+            self._ext_rows = [blk.external._expanded_rows() for blk in self.view.blocks]
+        return self._ext_rows
+
+    @property
+    def scatter_base(self) -> List[np.ndarray]:
+        """Per-block base ids (``arange(block_rows)``), shared across equal sizes."""
+        if self._scatter_base is None:
+            by_size = {}
+            self._scatter_base = [
+                by_size.setdefault(blk.nrows, np.arange(blk.nrows, dtype=np.int64))
+                for blk in self.view.blocks
+            ]
+        return self._scatter_base
+
+    @property
+    def local_c(self) -> List[CSRMatrix]:
+        """Per-block compressed (block-local-column) local off-diagonal parts."""
+        if self._local_c is None:
+            self._local_c = [blk.local_off_compressed() for blk in self.view.blocks]
+        return self._local_c
+
+    def warm_reference(self) -> "SweepPlan":
+        """Materialise and warm everything the per-block reference loop uses."""
+        if not self._warmed_reference:
+            for blk, lc in zip(self.view.blocks, self.local_c):
+                blk.external.warm_plan()
+                lc.warm_plan()
+            self.ext_rows
+            self.scatter_base
+            self._warmed_reference = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # fused whole-system structures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def external(self) -> CSRMatrix:
+        """The restacked whole-system external matrix (Eq. (4)'s global part)."""
+        return self.view.external_matrix()
+
+    @property
+    def local_off(self) -> CSRMatrix:
+        """The restacked block-diagonal local off-diagonal matrix."""
+        return self.view.local_offdiag_matrix()
+
+    @property
+    def diag(self) -> np.ndarray:
+        """The concatenated system diagonal."""
+        return self.view.diagonal_vector()
+
+    def warm_fused(self) -> "SweepPlan":
+        """Materialise and warm the stacked whole-system kernels."""
+        if not self._warmed_fused:
+            self.view.warm_stacked_kernels()
+            self._warmed_fused = True
+        return self
+
+    @property
+    def ell_plans_built(self) -> int:
+        """Total ELL gather plans constructed across this plan's matrices."""
+        total = 0
+        if self._warmed_fused:
+            total += self.external._ell_builds + self.local_off._ell_builds
+        if self._local_c is not None:
+            total += sum(lc._ell_builds for lc in self._local_c)
+            total += sum(blk.external._ell_builds for blk in self.view.blocks)
+        return total
+
+
+def compile_sweep_plan(view: BlockRowView) -> SweepPlan:
+    """The (cached) compiled sweep plan of *view*.
+
+    The first call compiles and attaches the plan; later calls — from
+    other engines sharing the view, e.g. a preconditioner constructing an
+    engine per application — return the same object.
+    """
+    if view._perf_plan is None:
+        view._perf_plan = SweepPlan(view)
+    return view._perf_plan

@@ -12,7 +12,7 @@ convenience.
 """
 
 from .coo import COOMatrix
-from .csr import CSRMatrix
+from .csr import CSRMatrix, scatter_add_fold
 from .ell import ELLMatrix, SlicedELLMatrix
 from .blocked import BlockRowView, RowBlock, partition_rows, partition_rows_by_work
 from .linalg import (
@@ -26,6 +26,7 @@ from .linalg import (
 __all__ = [
     "COOMatrix",
     "CSRMatrix",
+    "scatter_add_fold",
     "ELLMatrix",
     "SlicedELLMatrix",
     "BlockRowView",

@@ -203,6 +203,10 @@ class BlockRowView:
         self._ext_matrix: Optional[CSRMatrix] = None
         self._local_matrix: Optional[CSRMatrix] = None
         self._diag: Optional[np.ndarray] = None
+        # Compiled whole-system sweep plan (repro.perf.SweepPlan), attached
+        # on first engine construction and shared by every engine built on
+        # this view — the decomposition is compiled once, not per engine.
+        self._perf_plan = None
 
     def _stack_blocks(self, parts: List[CSRMatrix]) -> CSRMatrix:
         """Vertically restack per-block CSR parts into one (n, n) matrix.
@@ -251,6 +255,18 @@ class BlockRowView:
         if self._diag is None:
             self._diag = np.concatenate([blk.diag for blk in self.blocks])
         return self._diag
+
+    def warm_stacked_kernels(self) -> None:
+        """Eagerly build the stacked matrices and their ELL gather plans.
+
+        The fused sweep backend (:mod:`repro.perf`) runs whole-system
+        products against :meth:`external_matrix` and
+        :meth:`local_offdiag_matrix`; warming here moves their one-time
+        plan construction out of the first timed sweep.
+        """
+        self.external_matrix().warm_plan()
+        self.local_offdiag_matrix().warm_plan()
+        self.diagonal_vector()
 
     @property
     def nblocks(self) -> int:

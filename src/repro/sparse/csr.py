@@ -18,7 +18,7 @@ import numpy as np
 
 from .._util import as_float_array, as_index_array
 
-__all__ = ["CSRMatrix"]
+__all__ = ["CSRMatrix", "scatter_add_fold"]
 
 
 def _segment_sums(values: np.ndarray, indptr: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -43,6 +43,43 @@ def _segment_sums(values: np.ndarray, indptr: np.ndarray, out: np.ndarray) -> np
     return out
 
 
+def scatter_add_fold(
+    base: np.ndarray,
+    ids: np.ndarray,
+    weights: np.ndarray,
+    *,
+    base_ids: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``np.add.at(base, ids, weights)`` as one :func:`np.bincount` segment sum.
+
+    ``ufunc.at`` pays its generic-dispatch machinery per call and never
+    vectorises; ``bincount`` is a single C loop.  Both accumulate strictly
+    in listed order, so seeding every bin with its base value makes the
+    per-accumulator fold ``0.0 + base[r] + w_1 + w_2 + ...`` — bitwise the
+    in-place fold ``base[r] + w_1 + w_2 + ...`` for every base value
+    except a ``-0.0``, whose seed addition flips it to ``+0.0``.  (The two
+    zeros subtract identically from any non-negative-zero value, so the
+    flip cannot reach an iterate through ``s = b - ext`` unless *b* itself
+    carries ``-0.0`` entries; callers that must preserve even that case
+    guard on it — see :func:`repro.perf.rhs_preserves_fold`.)
+
+    *base* may be any shape; *ids* index its flattened form.  *base_ids*,
+    when given, must be ``arange(base.size)`` — pass a precomputed one to
+    keep hot paths allocation-light.  Returns a new array of *base*'s
+    shape; *base* is not modified.
+    """
+    flat = base.ravel()
+    n = flat.shape[0]
+    if base_ids is None:
+        base_ids = np.arange(n, dtype=np.int64)
+    out = np.bincount(
+        np.concatenate([base_ids, ids]),
+        weights=np.concatenate([flat, weights]),
+        minlength=n,
+    )
+    return out.reshape(base.shape)
+
+
 class CSRMatrix:
     """Sparse matrix in CSR format with canonical (sorted, unique) columns.
 
@@ -62,7 +99,7 @@ class CSRMatrix:
         construct already-valid arrays pass ``check=False``).
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape", "_ell")
+    __slots__ = ("indptr", "indices", "data", "shape", "_ell", "_ell_builds", "_erows")
 
     def __init__(self, indptr, indices, data, shape: Tuple[int, int], *, check: bool = True):
         self.indptr = as_index_array(indptr, "indptr")
@@ -70,6 +107,8 @@ class CSRMatrix:
         self.data = as_float_array(data, "data")
         self.shape = (int(shape[0]), int(shape[1]))
         self._ell = None
+        self._ell_builds = 0
+        self._erows = None
         if check:
             self._validate()
 
@@ -162,8 +201,14 @@ class CSRMatrix:
         return CSRMatrix(self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape, check=False)
 
     def _expanded_rows(self) -> np.ndarray:
-        """Row index of every stored entry (COO row array)."""
-        return np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_nnz())
+        """Row index of every stored entry (COO row array), cached.
+
+        Like the ELL plan, the cache assumes the matrix is not mutated in
+        place after first use (nothing in the package does).
+        """
+        if self._erows is None:
+            self._erows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_nnz())
+        return self._erows
 
     # ------------------------------------------------------------------ #
     # core kernels
@@ -231,7 +276,19 @@ class CSRMatrix:
                 runs,
                 np.flatnonzero(lengths == 0),
             )
+            self._ell_builds += 1
         return self._ell
+
+    def warm_plan(self) -> "CSRMatrix":
+        """Eagerly build the ELL gather plan (normally built lazily).
+
+        Sweep-plan compilation (:mod:`repro.perf`) calls this so the first
+        sweep pays no plan-construction cost; ``_ell_builds`` counts how
+        many times the plan was constructed (it must stay 1 across sweeps —
+        asserted by the test suite).
+        """
+        self._ell_plan()
+        return self
 
     def _packed_product(self, gather_cols, out: np.ndarray) -> np.ndarray:
         """SpMV over the length-class entry runs, 1-D or multi-vector.

@@ -84,6 +84,19 @@ REGIMES = {
     "shared-order-races": AsyncConfig(
         order="sequential", local_iterations=2, block_size=32, stale_read_prob=0.5
     ),
+    # All-deferred writes: the whole-sweep collapse engages (mixed γ and
+    # live γ flavours) — fused-exact regimes of repro.perf.
+    "all-deferred-mixed": AsyncConfig(
+        order="gpu", local_iterations=2, block_size=32, deferred_write_prob=1.0
+    ),
+    "all-deferred-live": AsyncConfig(
+        order="sequential", local_iterations=2, block_size=32, stale_read_prob=0.0,
+        deferred_write_prob=1.0,
+    ),
+    "all-deferred-reference": AsyncConfig(
+        order="gpu", local_iterations=2, block_size=32, deferred_write_prob=1.0,
+        backend="reference",
+    ),
 }
 
 
