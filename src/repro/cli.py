@@ -43,7 +43,7 @@ def _load_matrix(spec: str):
     return read_matrix_market(spec)
 
 
-def _build_solver(args):
+def _build_solver(args, recorder=None):
     from .core import BlockAsyncSolver
     from .experiments.runner import paper_async_config
     from .solvers import (
@@ -59,31 +59,34 @@ def _build_solver(args):
     )
 
     stopping = StoppingCriterion(tol=args.tol, maxiter=args.maxiter)
+    every = getattr(args, "residual_every", 1)
+    kwargs = {"stopping": stopping, "residual_every": every, "recorder": recorder}
     name = args.solver
     if name == "jacobi":
-        return JacobiSolver(omega=args.omega, stopping=stopping)
+        return JacobiSolver(omega=args.omega, **kwargs)
     if name == "gauss-seidel":
-        return GaussSeidelSolver(stopping=stopping)
+        return GaussSeidelSolver(**kwargs)
     if name == "sor":
-        return SORSolver(omega=args.omega, stopping=stopping)
+        return SORSolver(omega=args.omega, **kwargs)
     if name == "ssor":
-        return SSORSolver(omega=args.omega, stopping=stopping)
+        return SSORSolver(omega=args.omega, **kwargs)
     if name == "cg":
-        return ConjugateGradientSolver(stopping=stopping)
+        return ConjugateGradientSolver(**kwargs)
     if name == "gmres":
-        return GMRESSolver(stopping=stopping)
+        return GMRESSolver(**kwargs)
     if name == "block-jacobi":
-        return BlockJacobiSolver(block_size=args.block_size, stopping=stopping)
+        return BlockJacobiSolver(block_size=args.block_size, **kwargs)
     if name == "chebyshev":
-        return ChebyshevSolver(stopping=stopping)
+        return ChebyshevSolver(**kwargs)
     cfg = paper_async_config(
         args.local_iterations,
         block_size=args.block_size,
         seed=args.seed,
         omega=args.omega,
         backend=args.backend,
+        residual_every=every,
     )
-    return BlockAsyncSolver(cfg, stopping=stopping)
+    return BlockAsyncSolver(cfg, stopping=stopping, recorder=recorder)
 
 
 def _cmd_suite(args) -> int:
@@ -133,13 +136,21 @@ def _cmd_solve(args) -> int:
 
     A = _load_matrix(args.matrix)
     b = default_rhs(A, kind=args.rhs)
-    solver = _build_solver(args)
+    recorder = None
+    if args.telemetry_json:
+        from .runtime import RunRecorder
+
+        recorder = RunRecorder()
+    solver = _build_solver(args, recorder=recorder)
     try:
         result = solver.solve(A, b)
     except ValueError as exc:
         # e.g. --backend=fused in a regime where fusion is not exact.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if recorder is not None:
+        recorder.annotate(matrix=args.matrix)
+        recorder.dump(args.telemetry_json)
     rel = result.relative_residuals()
     if args.json:
         import json
@@ -150,6 +161,8 @@ def _cmd_solve(args) -> int:
     print(f"matrix:    {args.matrix}  (n={A.shape[0]}, nnz={A.nnz})")
     print(f"converged: {result.converged} in {result.iterations} global iterations")
     print(f"residual:  {result.final_residual:.3e}  (relative {rel[-1]:.3e})")
+    if args.telemetry_json:
+        print(f"telemetry: {args.telemetry_json}")
     if args.history:
         stride = max(1, len(rel) // 20)
         for i in range(0, len(rel), stride):
@@ -171,6 +184,12 @@ def _cmd_experiment(args) -> int:
     if args.id == "all":
         from pathlib import Path
 
+        if args.telemetry_json:
+            print(
+                "error: --telemetry-json needs a single experiment id, not 'all'",
+                file=sys.stderr,
+            )
+            return 2
         outdir = Path(args.outdir) if args.outdir else Path("artifacts")
         outdir.mkdir(parents=True, exist_ok=True)
         seen = set()
@@ -189,7 +208,17 @@ def _cmd_experiment(args) -> int:
                 (outdir / f"{e.id.replace('/', '_')}.json").write_text(result.to_json())
         print(f"wrote {len(seen)} artifacts to {outdir}/")
         return 0
-    result = run_experiment(args.id, quick=not args.full, batched=args.batched)
+    try:
+        result = run_experiment(
+            args.id,
+            quick=not args.full,
+            batched=args.batched,
+            telemetry_path=args.telemetry_json,
+        )
+    except ValueError as exc:
+        # e.g. --telemetry-json on an experiment that emits no telemetry.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(result.to_json() if args.json else result.render())
     return 0
 
@@ -226,6 +255,21 @@ def build_parser() -> argparse.ArgumentParser:
         "iterates are bitwise identical wherever a backend may run)",
     )
     ps.add_argument("--rhs", choices=("ones", "random", "unit"), default="ones")
+    ps.add_argument(
+        "--residual-every",
+        type=int,
+        default=1,
+        metavar="M",
+        help="evaluate/record the full residual every M sweeps (default 1; "
+        "iterates are identical for every M — see repro.runtime.RunLoop)",
+    )
+    ps.add_argument(
+        "--telemetry-json",
+        metavar="PATH",
+        default=None,
+        help="write RunRecorder telemetry (per-sweep timings, residual "
+        "trace, events) as JSON to PATH",
+    )
     ps.add_argument("--history", action="store_true", help="print the residual history")
     ps.add_argument("--json", action="store_true", help="emit a JSON summary")
     ps.set_defaults(func=_cmd_solve)
@@ -247,6 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
         dest="batched",
         action="store_false",
         help="force the sequential per-seed ensemble loop",
+    )
+    pe.add_argument(
+        "--telemetry-json",
+        metavar="PATH",
+        default=None,
+        help="write the experiment's RunRecorder telemetry as JSON to PATH "
+        "(single experiment id only; errors on experiments without telemetry)",
     )
     pe.set_defaults(func=_cmd_experiment)
     return p

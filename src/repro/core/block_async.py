@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..runtime.recorder import RunRecorder
 from ..sparse import BlockRowView, CSRMatrix
 from ..solvers.base import IterativeSolver, SolveResult, StoppingCriterion
 from .engine import AsyncEngine
@@ -49,6 +50,13 @@ class BlockAsyncSolver(IterativeSolver):
         Optional :class:`FaultScenario` (§4.5 experiments).
     stopping:
         Shared stopping rule.
+    residual_every:
+        Full-residual recording cadence (see
+        :class:`repro.runtime.RunLoop`); defaults to
+        ``config.residual_every``.
+    recorder:
+        Optional :class:`repro.runtime.RunRecorder` telemetry sink — also
+        attached to the engine so fault/heal events are captured.
 
     Examples
     --------
@@ -71,8 +79,9 @@ class BlockAsyncSolver(IterativeSolver):
         omega: float = 1.0,
         fault: Optional[FaultScenario] = None,
         stopping: Optional[StoppingCriterion] = None,
+        residual_every: Optional[int] = None,
+        recorder: Optional[RunRecorder] = None,
     ):
-        super().__init__(stopping)
         if config is None:
             config = AsyncConfig(
                 local_iterations=local_iterations,
@@ -80,6 +89,13 @@ class BlockAsyncSolver(IterativeSolver):
                 seed=seed,
                 omega=omega,
             )
+        super().__init__(
+            stopping,
+            residual_every=(
+                config.residual_every if residual_every is None else residual_every
+            ),
+            recorder=recorder,
+        )
         self.config = config
         self.fault = fault
         self.name = config.method_name
@@ -87,6 +103,7 @@ class BlockAsyncSolver(IterativeSolver):
     def _setup(self, A: CSRMatrix, b: np.ndarray) -> _AsyncState:
         view = BlockRowView(A, block_size=self.config.block_size)
         engine = AsyncEngine(view, b, self.config, fault=self.fault)
+        engine.recorder = self.recorder
         return _AsyncState(view=view, engine=engine)
 
     def _iterate(self, state: _AsyncState, x: np.ndarray) -> np.ndarray:
@@ -106,3 +123,10 @@ class BlockAsyncSolver(IterativeSolver):
         )
         if self.fault is not None:
             result.info["fault"] = self.fault.label
+        if self.recorder is not None:
+            self.recorder.annotate(
+                backend=state.engine.backend,
+                nblocks=state.view.nblocks,
+                staleness_bound=state.engine.scheduler.staleness_bound(),
+                update_counts=state.engine.update_counts.tolist(),
+            )

@@ -38,9 +38,12 @@ import numpy as np
 from .._util import as_rng, check_vector
 from ..perf.backends import make_executor, resolve_backend
 from ..perf.plan import compile_sweep_plan, rhs_preserves_fold
+from ..runtime import BatchedRunOutcome, RunLoop, StoppingCriterion
+from ..runtime.recorder import RunRecorder
+from ..solvers.base import SolveResult
+from ..solvers.block_jacobi import local_jacobi_sweeps
 from ..sparse import BlockRowView
 from ..sparse.csr import scatter_add_fold
-from ..solvers.block_jacobi import local_jacobi_sweeps
 from .fault import FaultScenario
 from .schedules import AsyncConfig, WaveScheduler, replica_rngs
 
@@ -99,10 +102,14 @@ class AsyncEngine:
         self.scheduler = WaveScheduler(view.nblocks, config, self.rng)
         self.update_counts = np.zeros(view.nblocks, dtype=np.int64)
         self.sweep_index = 0
+        #: Optional telemetry sink (:class:`repro.runtime.RunRecorder`):
+        #: fault activation/clearing and healing are reported as events.
+        self.recorder: Optional[RunRecorder] = None
         # Fault support: per-block local indices of frozen rows, rebuilt
         # whenever the active frozen mask changes.
         self._frozen_mask: Optional[np.ndarray] = None
         self._frozen_local: List[np.ndarray] = []
+        self._frozen_reported = False
         # Healed components: reassigned to healthy cores (self-healing
         # recovery, repro.core.recovery) — exempt from any future fault.
         self._healed = np.zeros(view.n, dtype=bool)
@@ -122,7 +129,10 @@ class AsyncEngine:
 
     def heal_rows(self, rows: np.ndarray) -> None:
         """Permanently exempt *rows* from the fault (reassignment)."""
-        self._healed[np.asarray(rows, dtype=np.int64)] = True
+        rows = np.asarray(rows, dtype=np.int64)
+        self._healed[rows] = True
+        if self.recorder is not None:
+            self.recorder.record_event(self.sweep_index, "heal", rows=int(len(rows)))
 
     def _refresh_fault_state(self) -> None:
         mask = self.fault.frozen_rows(self.sweep_index, self.view.n) if self.fault else None
@@ -139,6 +149,16 @@ class AsyncEngine:
                 self._frozen_local = [
                     np.flatnonzero(mask[blk.rows]) for blk in self.view.blocks
                 ]
+            if self.recorder is not None:
+                frozen = 0 if mask is None else int(mask.sum())
+                if frozen or self._frozen_reported:
+                    self.recorder.record_event(
+                        self.sweep_index,
+                        "fault-active" if frozen else "fault-cleared",
+                        frozen_rows=frozen,
+                        fault=self.fault.kind if self.fault else None,
+                    )
+                self._frozen_reported = frozen > 0
 
     def sweep(self, x: np.ndarray) -> np.ndarray:
         """One global iteration: every block updated once, in schedule order.
@@ -160,6 +180,69 @@ class AsyncEngine:
         return self._executor.sweep(x)
 
     # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        x0: Optional[np.ndarray] = None,
+        *,
+        stopping: Optional[StoppingCriterion] = None,
+        residual_every: Optional[int] = None,
+        recorder: Optional[RunRecorder] = None,
+        observer=None,
+        method: Optional[str] = None,
+    ) -> SolveResult:
+        """Drive sweeps through :class:`repro.runtime.RunLoop` to a result.
+
+        This is the engine-level run loop (historically hand-rolled by each
+        caller): sweeps until the stopping rule converges or diverges,
+        recording the residual history at the configured cadence.
+        ``residual_every``/``recorder`` default to ``config.residual_every``
+        and the engine's own :attr:`recorder`; *observer* is forwarded to
+        the loop (the self-healing solver's detect/heal hook).
+        """
+        A = self.view.matrix
+        st = stopping if stopping is not None else StoppingCriterion()
+        m = self.config.residual_every if residual_every is None else residual_every
+        if recorder is not None:
+            self.recorder = recorder
+        x = (
+            np.zeros(self.view.n)
+            if x0 is None
+            else check_vector(x0, self.view.n, "x0").copy()
+        )
+        b_norm = float(np.linalg.norm(self.b))
+        tag = method if method is not None else self.config.method_name
+        loop = RunLoop(st, residual_every=m, recorder=self.recorder)
+        outcome = loop.run(
+            x,
+            lambda x, it: self.sweep(x),
+            lambda x: float(np.linalg.norm(A.residual(x, self.b))),
+            b_norm=b_norm,
+            method=tag,
+            observer=observer,
+        )
+        if self.recorder is not None:
+            self.recorder.annotate(
+                backend=self.backend,
+                nblocks=self.view.nblocks,
+                staleness_bound=self.scheduler.staleness_bound(),
+                update_counts=self.update_counts.tolist(),
+            )
+        result = SolveResult(
+            x=outcome.x,
+            residuals=outcome.residuals,
+            converged=outcome.converged,
+            method=tag,
+            b_norm=b_norm,
+            info={
+                "diverged": outcome.diverged,
+                "backend": self.backend,
+                "sweeps": outcome.sweeps,
+            },
+        )
+        if m != 1:
+            result.residual_iters = outcome.residual_iters
+        return result
 
     def min_updates(self) -> int:
         """Fewest updates any block has received (condition (1) diagnostics)."""
@@ -670,6 +753,49 @@ class BatchedAsyncEngine:
                 )
         else:
             Xflat[flat] = z
+
+    def run(
+        self,
+        *,
+        stopping: StoppingCriterion,
+        residual_every: int = 1,
+        recorder: Optional[RunRecorder] = None,
+    ) -> BatchedRunOutcome:
+        """Drive all R replicas from ``x0 = 0`` through the shared run loop.
+
+        An active-set loop (:meth:`repro.runtime.RunLoop.run_batched`):
+        per iteration one batched :meth:`sweep` over the replicas still
+        running, then one cache-resident 1-D residual per active replica —
+        bitwise the sequential solver's own evaluation.  Replicas whose
+        residual passes the threshold (or diverges) freeze, exactly like a
+        sequential early exit.  Histories are **absolute** residual norms;
+        callers scale.
+        """
+        A = self.view.matrix
+        n = self.view.n
+        R = self.nreplicas
+        X = np.zeros((R, n))
+        # x0 = 0 for every replica, so the initial residual is shared.
+        r0 = float(np.linalg.norm(A.residual(np.zeros(n), self.b)))
+        res_row = np.empty(n)
+
+        def residual_norms(reps: np.ndarray) -> np.ndarray:
+            out = np.empty(len(reps))
+            for i, r in enumerate(reps):
+                A.matvec(X[r], out=res_row)
+                np.subtract(self.b, res_row, out=res_row)
+                out[i] = float(np.linalg.norm(res_row))
+            return out
+
+        loop = RunLoop(stopping, residual_every=residual_every, recorder=recorder)
+        return loop.run_batched(
+            X,
+            lambda reps: self.sweep(X, reps),
+            residual_norms,
+            b_norm=float(np.linalg.norm(self.b)),
+            method=f"batched-{self.config.method_name}",
+            r0=np.full(R, r0),
+        )
 
     def min_updates(self) -> int:
         """Fewest updates any (replica, block) pair has received."""

@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._util import check_square, check_vector
+from ..runtime.recorder import RunRecorder
 from ..solvers.base import SolveResult, StoppingCriterion
 from ..sparse import BlockRowView, CSRMatrix
 from .detection import SilentErrorDetector
@@ -56,6 +57,9 @@ class SelfHealingSolver:
         (gives the iteration time to re-establish its healthy rate).
     stopping:
         Tolerance / budget, counted in global sweeps.
+    recorder:
+        Optional :class:`repro.runtime.RunRecorder` telemetry sink — the
+        engine reports fault activation and healing as events into it.
     """
 
     name = "self-healing-async"
@@ -69,6 +73,7 @@ class SelfHealingSolver:
         suspects_per_alert: int = 3,
         heal_cooldown: int = 5,
         stopping: Optional[StoppingCriterion] = None,
+        recorder: Optional[RunRecorder] = None,
     ):
         if suspects_per_alert < 1:
             raise ValueError("suspects_per_alert must be >= 1")
@@ -80,6 +85,7 @@ class SelfHealingSolver:
         self.suspects_per_alert = suspects_per_alert
         self.heal_cooldown = heal_cooldown
         self.stopping = stopping if stopping is not None else StoppingCriterion(maxiter=300)
+        self.recorder = recorder
         self.name = f"self-healing-{self.config.method_name}"
 
     def solve(self, A: CSRMatrix, b: np.ndarray, x0: Optional[np.ndarray] = None) -> SolveResult:
@@ -95,33 +101,23 @@ class SelfHealingSolver:
 
         x = np.zeros(n) if x0 is None else check_vector(x0, n, "x0").copy()
         b_norm = float(np.linalg.norm(b))
-        threshold = self.stopping.threshold(b_norm)
-        residuals = [float(np.linalg.norm(A.residual(x, b)))]
-        detector.update(residuals[0] / b_norm if b_norm > 0 else residuals[0])
-        converged = residuals[0] <= threshold
         heals: List[dict] = []
-        cooldown = 0
+        state = {"cooldown": 0}
 
-        it = 0
-        while not converged and it < self.stopping.maxiter:
-            x = engine.sweep(x)
-            it += 1
-            res = float(np.linalg.norm(A.residual(x, b)))
-            residuals.append(res)
-            if res <= threshold:
-                converged = True
-                break
-            if self.stopping.diverged(res):
-                break
-
+        def observer(it: int, x: np.ndarray, res: float) -> None:
+            # Called by the run loop at every recorded residual that keeps
+            # the run going (plus iteration 0): the detect → localize →
+            # heal reaction rides on the loop instead of owning it.
             rel = res / b_norm if b_norm > 0 else res
             alert = detector.update(rel)
-            if detector.baseline_rate is not None and not heals and cooldown == 0:
+            if it == 0:
+                return
+            if detector.baseline_rate is not None and not heals and state["cooldown"] == 0:
                 # Keep the healthy-phase block profile fresh until the
                 # first incident.
                 localizer.snapshot(x)
-            if cooldown > 0:
-                cooldown -= 1
+            if state["cooldown"] > 0:
+                state["cooldown"] -= 1
             elif alert is not None:
                 suspects = localizer.suspects(x, top=self.suspects_per_alert)
                 rows = view.rows_of(suspects)
@@ -129,20 +125,26 @@ class SelfHealingSolver:
                 heals.append(
                     {"sweep": it, "reason": alert.reason, "blocks": [int(s) for s in suspects]}
                 )
-                cooldown = self.heal_cooldown
+                state["cooldown"] = self.heal_cooldown
 
-        return SolveResult(
-            x=x,
-            residuals=np.array(residuals),
-            converged=converged,
+        # Detection needs the residual every sweep, so the recording
+        # cadence is pinned to 1 regardless of config.residual_every.
+        result = engine.run(
+            x,
+            stopping=self.stopping,
+            residual_every=1,
+            recorder=self.recorder,
+            observer=observer,
             method=self.name,
-            b_norm=b_norm,
-            info={
-                "diverged": bool(self.stopping.diverged(residuals[-1])),
+        )
+        result.info.update(
+            {
+                "diverged": bool(self.stopping.diverged(result.residuals[-1])),
                 "heals": heals,
                 "alerts": len(detector.alerts),
-            },
+            }
         )
+        return result
 
     @staticmethod
     def _heal(engine: AsyncEngine, rows: np.ndarray) -> None:

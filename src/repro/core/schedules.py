@@ -118,6 +118,14 @@ class AsyncConfig:
         Master seed of the run — two runs with the same seed are bitwise
         identical; different seeds model different nondeterministic
         hardware schedules (§4.1's 1000-run study varies exactly this).
+    residual_every:
+        Full-residual recording cadence *m* of the run loop
+        (:class:`repro.runtime.RunLoop`): ``||b − A x||`` is evaluated and
+        the stopping rule applied every *m* global sweeps.  The default 1
+        — used by every paper figure — records each sweep; larger values
+        skip the dominant non-sweep cost on large systems.  The sweeps
+        themselves never depend on the evaluations, so the iterates
+        visited are identical for every *m*.
     """
 
     local_iterations: int = 1
@@ -131,6 +139,7 @@ class AsyncConfig:
     jitter_swaps: int = 2
     backend: str = "auto"
     seed: RNGLike = 0
+    residual_every: int = 1
 
     def __post_init__(self) -> None:
         if self.local_iterations < 1:
@@ -153,6 +162,8 @@ class AsyncConfig:
             raise ValueError("jitter_swaps must be >= 0")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.residual_every < 1:
+            raise ValueError("residual_every must be >= 1")
 
     @property
     def method_name(self) -> str:

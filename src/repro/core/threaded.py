@@ -41,6 +41,8 @@ from typing import List, Optional
 import numpy as np
 
 from .._util import check_square, check_vector
+from ..runtime import RunLoop, StopRun
+from ..runtime.recorder import RunRecorder
 from ..solvers.base import SolveResult, StoppingCriterion
 from ..sparse import BlockRowView, CSRMatrix
 
@@ -82,6 +84,9 @@ class ThreadedAsyncSolver:
         slot — coarse block-coordinate descent rather than asynchronous
         iteration; 0.1 ms restores fine-grained interleaving.  The previous
         value is restored afterwards.
+    recorder:
+        Optional :class:`repro.runtime.RunRecorder` telemetry sink for the
+        monitor's residual samples.
 
     Examples
     --------
@@ -105,6 +110,7 @@ class ThreadedAsyncSolver:
         stopping: Optional[StoppingCriterion] = None,
         poll_interval: float = 1e-3,
         switch_interval: float = 1e-4,
+        recorder: Optional[RunRecorder] = None,
     ):
         if local_iterations < 1:
             raise ValueError("local_iterations must be >= 1")
@@ -123,6 +129,7 @@ class ThreadedAsyncSolver:
         if switch_interval <= 0:
             raise ValueError("switch_interval must be positive")
         self.switch_interval = switch_interval
+        self.recorder = recorder
         self.name = f"threaded-async-({local_iterations})"
 
     # ------------------------------------------------------------------ #
@@ -166,40 +173,64 @@ class ThreadedAsyncSolver:
 
         b_norm = float(np.linalg.norm(b))
         threshold = self.stopping.threshold(b_norm)
-        residuals = [float(np.linalg.norm(A.residual(x, b)))]
-        converged = residuals[0] <= threshold
+        residual0 = float(np.linalg.norm(A.residual(x, b)))
+        residuals = [residual0]
+        converged = residual0 <= threshold
 
         threads = [
             threading.Thread(target=self._worker, args=(w, blocks, b, state), daemon=True)
             for w, blocks in enumerate(assignment)
         ]
         if not converged:
+            import dataclasses
             import sys
 
             previous_switch = sys.getswitchinterval()
             sys.setswitchinterval(self.switch_interval)
             for t in threads:
                 t.start()
-            # Monitor: sample the (racy) residual until convergence or all
-            # workers exhausted their pass budgets.
-            while True:
-                time.sleep(self.poll_interval)
-                res = float(np.linalg.norm(A.residual(x, b)))
-                residuals.append(res)
-                if res <= threshold:
-                    converged = True
-                    break
-                if self.stopping.diverged(res):
-                    break
+
+            def step(x, it):
+                # The monitor performs no numerical work: workers own the
+                # iterate; each "step" waits one polling interval (ending
+                # the run once every worker exhausted its pass budget) and
+                # the loop then samples the racy residual.
                 if all(not t.is_alive() for t in threads):
-                    break
-            state.stop.set()
-            for t in threads:
-                t.join()
-            sys.setswitchinterval(previous_switch)
+                    raise StopRun("workers-exhausted")
+                time.sleep(self.poll_interval)
+
+            # The monitor's pass budget lives with the workers, not here:
+            # it keeps sampling until tolerance, divergence, or worker
+            # exhaustion ends the run.
+            monitor = RunLoop(
+                dataclasses.replace(self.stopping, maxiter=sys.maxsize),
+                recorder=self.recorder,
+            )
+            try:
+                outcome = monitor.run(
+                    x,
+                    step,
+                    lambda x: float(np.linalg.norm(A.residual(x, b))),
+                    b_norm=b_norm,
+                    method=self.name,
+                    r0=residual0,
+                )
+            finally:
+                state.stop.set()
+                for t in threads:
+                    t.join()
+                sys.setswitchinterval(previous_switch)
+            residuals = list(outcome.residuals)
             # Final, race-free residual.
             residuals.append(float(np.linalg.norm(A.residual(x, b))))
             converged = residuals[-1] <= threshold
+            if self.recorder is not None:
+                self.recorder.record_residual(outcome.sweeps, residuals[-1])
+                self.recorder.annotate(
+                    workers=len(assignment),
+                    worker_passes=state.passes.tolist(),
+                    final_residual=residuals[-1],
+                )
 
         return SolveResult(
             x=x,

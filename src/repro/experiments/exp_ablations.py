@@ -128,18 +128,11 @@ def run(quick: bool = True) -> ExperimentResult:
         # Custom boundaries need the engine directly (the solver wrapper
         # only takes uniform block sizes).
         from ..core.engine import AsyncEngine
-        import numpy as _np
 
         engine = AsyncEngine(view, bt, paper_async_config(5, block_size=128, seed=1))
-        x = _np.zeros(T.shape[0])
-        b_norm = float(_np.linalg.norm(bt))
-        it = None
-        for sweep in range(1, 200):
-            x = engine.sweep(x)
-            if float(_np.linalg.norm(T.residual(x, bt))) <= _TOL * b_norm:
-                it = sweep
-                break
-        rows.append([label, max(work) / min(work), it if it is not None else ">200"])
+        result = engine.run(stopping=StoppingCriterion(tol=_TOL, maxiter=199))
+        it = result.iterations if result.converged else ">200"
+        rows.append([label, max(work) / min(work), it])
     tables.append(
         TableArtifact(
             title="A5: partition balancing on Trefethen_2000 (async-(5))",

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core import BlockAsyncSolver
 from ..matrices import default_rhs, get_matrix
+from ..runtime import RunRecorder
 from ..solvers import GaussSeidelSolver, JacobiSolver, StoppingCriterion
 from ..solvers.base import SolveResult
 from .report import ExperimentResult, TableArtifact, series_table
@@ -33,9 +34,12 @@ def _batched_async_solve(A, b, solver: BlockAsyncSolver, stopping: StoppingCrite
     Drives one replica of :class:`repro.core.BatchedAsyncEngine` with the
     solver's own seed and stopping rule — bitwise the sequential solve (the
     engine's exactness contract), so ``--batched`` changes the execution
-    path of the figure's async curves without changing the figures.
+    path of the figure's async curves without changing the figures.  The
+    iteration itself is :class:`repro.runtime.RunLoop` with the ``(1, n)``
+    multi-vector as the iterate.
     """
     from ..core.engine import BatchedAsyncEngine
+    from ..runtime import RunLoop
     from ..sparse import BlockRowView
 
     cfg = solver.config
@@ -43,29 +47,34 @@ def _batched_async_solve(A, b, solver: BlockAsyncSolver, stopping: StoppingCrite
     engine = BatchedAsyncEngine(view, b, cfg, 1, seed0=int(cfg.seed))
     X = np.zeros((1, A.shape[0]))
     b_norm = float(np.linalg.norm(b))
-    threshold = stopping.threshold(b_norm)
-    residuals = [float(np.linalg.norm(A.residual(X[0], b)))]
-    converged = residuals[0] <= threshold
-    diverged = False
-    it = 0
-    while not converged and it < stopping.maxiter:
+    loop = RunLoop(
+        stopping,
+        residual_every=solver.residual_every,
+        recorder=solver.recorder,
+    )
+
+    def step(X, it):
         engine.sweep(X)
-        it += 1
-        res = float(np.linalg.norm(A.residual(X[0], b)))
-        residuals.append(res)
-        if res <= threshold:
-            converged = True
-        elif stopping.diverged(res):
-            diverged = True
-            break
-    return SolveResult(
+
+    outcome = loop.run(
+        X,
+        step,
+        lambda X: float(np.linalg.norm(A.residual(X[0], b))),
+        b_norm=b_norm,
+        method=f"batched-{cfg.method_name}",
+    )
+    result = SolveResult(
         x=X[0].copy(),
-        residuals=np.array(residuals),
-        converged=converged,
+        residuals=outcome.residuals,
+        converged=outcome.converged,
         method=cfg.method_name,
         b_norm=b_norm,
-        info={"diverged": diverged, "batched": True},
+        info={"diverged": outcome.diverged, "batched": True},
     )
+    if solver.residual_every != 1:
+        result.residual_iters = outcome.residual_iters
+        result.info["sweeps"] = outcome.sweeps
+    return result
 
 
 def convergence_histories(
@@ -94,8 +103,19 @@ def convergence_histories(
     return out
 
 
-def run(quick: bool = True, *, batched: Optional[bool] = None) -> ExperimentResult:
-    """Generate all six panels of Figure 6."""
+def run(
+    quick: bool = True,
+    *,
+    batched: Optional[bool] = None,
+    telemetry_path: Optional[str] = None,
+) -> ExperimentResult:
+    """Generate all six panels of Figure 6.
+
+    ``telemetry_path`` writes a :class:`repro.runtime.RunRecorder` JSON
+    document with one run per async solve (per matrix): per-sweep timings,
+    the recorded residual history, and engine annotations.
+    """
+    recorder = RunRecorder() if telemetry_path is not None else None
     tables = []
     series = {}
     summary_rows = []
@@ -106,11 +126,16 @@ def run(quick: bool = True, *, batched: Optional[bool] = None) -> ExperimentResu
             {
                 "Gauss-Seidel": GaussSeidelSolver(),
                 "Jacobi": JacobiSolver(),
-                "async-(1)": BlockAsyncSolver(paper_async_config(1, seed=1)),
+                "async-(1)": BlockAsyncSolver(
+                    paper_async_config(1, seed=1), recorder=recorder
+                ),
             },
             maxiter,
             batched=batched,
         )
+        if recorder is not None:
+            # The async solve just closed its run; tag it with the matrix.
+            recorder.annotate(experiment="F6", matrix=name)
         ys = {}
         npts = min(len(r.residuals) for r in results.values())
         for label, r in results.items():
@@ -143,4 +168,7 @@ def run(quick: bool = True, *, batched: Optional[bool] = None) -> ExperimentResu
         notes.append("async curves computed via the batched engine (bitwise the sequential path).")
     if quick:
         notes.append("quick mode caps fv3 at 2000 iterations (paper plots 25000); set quick=False / REPRO_FULL=1.")
+    if recorder is not None:
+        recorder.dump(telemetry_path)
+        notes.append(f"async-run telemetry written to {telemetry_path}.")
     return ExperimentResult("F6", "Convergence of GS / Jacobi / async-(1)", tables, series, notes)

@@ -20,6 +20,7 @@ __all__ = [
     "get_experiment",
     "run_experiment",
     "supports_batched",
+    "supports_telemetry",
 ]
 
 Runner = Callable[[bool], ExperimentResult]
@@ -97,22 +98,38 @@ def supports_batched(experiment: Experiment) -> bool:
     return "batched" in inspect.signature(experiment.runner).parameters
 
 
+def supports_telemetry(experiment: Experiment) -> bool:
+    """Whether the experiment's runner takes a ``telemetry_path`` keyword."""
+    return "telemetry_path" in inspect.signature(experiment.runner).parameters
+
+
 def run_experiment(
-    experiment_id: str, *, quick: bool = True, batched: Optional[bool] = None
+    experiment_id: str,
+    *,
+    quick: bool = True,
+    batched: Optional[bool] = None,
+    telemetry_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
     *batched* selects the ensemble execution path (``--batched`` /
     ``--no-batched`` on the CLI) for the experiments that run replica
     ensembles or async convergence histories; ``None`` keeps each
-    experiment's default.  Passing an explicit value to an experiment
-    that has no such path is an error, not a silent no-op.
+    experiment's default.  *telemetry_path* asks the experiment to write
+    its :class:`repro.runtime.RunRecorder` JSON there.  Passing an
+    explicit value to an experiment without the corresponding capability
+    is an error, not a silent no-op.
     """
     exp = get_experiment(experiment_id)
-    if batched is None:
-        return exp.runner(quick)
-    if not supports_batched(exp):
-        raise ValueError(
-            f"experiment {exp.id} has no batched/sequential execution choice"
-        )
-    return exp.runner(quick, batched=batched)
+    kwargs = {}
+    if batched is not None:
+        if not supports_batched(exp):
+            raise ValueError(
+                f"experiment {exp.id} has no batched/sequential execution choice"
+            )
+        kwargs["batched"] = batched
+    if telemetry_path is not None:
+        if not supports_telemetry(exp):
+            raise ValueError(f"experiment {exp.id} does not emit run telemetry")
+        kwargs["telemetry_path"] = telemetry_path
+    return exp.runner(quick, **kwargs)

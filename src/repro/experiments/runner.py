@@ -68,13 +68,16 @@ def paper_async_config(
     seed: int = 0,
     omega: float = 1.0,
     backend: str = "auto",
+    residual_every: int = 1,
 ) -> AsyncConfig:
     """The experiment-standard async-(k) configuration.
 
     Concurrency comes from the Fermi C2070 occupancy at the given thread
     block size, as on the paper's hardware.  *backend* selects the sweep
     execution strategy (:data:`repro.core.schedules.BACKENDS`) — a timing
-    knob only, never a change in iterates.
+    knob only, never a change in iterates.  *residual_every* sets the
+    full-residual recording cadence (paper figures use 1; see
+    :class:`repro.runtime.RunLoop`).
     """
     return AsyncConfig(
         local_iterations=local_iterations,
@@ -84,6 +87,7 @@ def paper_async_config(
         seed=seed,
         omega=omega,
         backend=backend,
+        residual_every=residual_every,
     )
 
 

@@ -1,0 +1,33 @@
+"""The instrumented runtime every solver and engine executes through.
+
+* :mod:`repro.runtime.loop` — :class:`RunLoop`, the one driver owning
+  stopping (:class:`StoppingCriterion`), divergence detection, residual
+  recording at a configurable ``residual_every`` cadence, plus the
+  :class:`RunLedger` escape hatch for loops with their own shape (GMRES)
+  and :class:`StopRun` for in-step termination (CG breakdown).
+* :mod:`repro.runtime.recorder` — :class:`RunRecorder`, the structured
+  telemetry layer: per-sweep wall-clock, residual norms, engine
+  annotations (backend, update counts, staleness) and fault/recovery
+  events, with versioned JSON export.
+"""
+
+from .loop import (
+    BatchedRunOutcome,
+    RunLedger,
+    RunLoop,
+    RunOutcome,
+    StopRun,
+    StoppingCriterion,
+)
+from .recorder import RunRecord, RunRecorder
+
+__all__ = [
+    "BatchedRunOutcome",
+    "RunLedger",
+    "RunLoop",
+    "RunOutcome",
+    "RunRecord",
+    "RunRecorder",
+    "StopRun",
+    "StoppingCriterion",
+]

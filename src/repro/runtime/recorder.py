@@ -1,0 +1,204 @@
+"""Structured run telemetry: what every solve actually did, sweep by sweep.
+
+Every convergence claim in the paper is a statement about *residual history
+versus sweeps or wall-clock*; :class:`RunRecorder` is the layer that captures
+that history — per-sweep wall-clock, residual norms at the recorded cadence,
+engine annotations (backend choice, block ``update_counts``, realized
+staleness bound) and discrete events (fault activation, healing) — as
+structured records with JSON export.
+
+One recorder can span many runs (an experiment solving six matrices opens
+six runs on the same recorder); each run is a :class:`RunRecord`.  The
+recorder is fed by :class:`repro.runtime.RunLoop` and by the engines; it is
+deliberately dumb — append-only lists, no aggregation — so its per-sweep
+overhead is a clock read and a few appends (measured by
+``benchmarks/bench_runtime_overhead.py``).
+
+The export schema is versioned (:data:`RunRecorder.SCHEMA`)::
+
+    {"schema": "repro.runtime/v1",
+     "runs": [{"meta": {...}, "sweeps": {...}, "residuals": {...},
+               "events": [...], "annotations": {...}, "summary": {...}}]}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RunRecord", "RunRecorder"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of numpy containers/scalars for JSON export."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class RunRecord:
+    """Telemetry of one run (one solve, or one batched ensemble drive).
+
+    Attributes
+    ----------
+    meta:
+        Run context written at open time (method tag, ``b_norm``, stopping
+        threshold, ``maxiter``, ``residual_every``, ...).
+    sweep_index / sweep_seconds / sweep_active:
+        Per-sweep sample lists: global sweep number, wall-clock seconds of
+        the sweep (step plus any residual evaluation), and — for batched
+        runs — the number of replicas still being advanced.
+    residual_iters / residual_norms:
+        The recorded residual trace, at the run's ``residual_every``
+        cadence (index 0 is the initial residual).
+    events:
+        Discrete occurrences (``{"sweep": ..., "kind": ..., ...}``): fault
+        activation/clearing, block healing, early stops.
+    annotations:
+        One-off facts attached after the run (backend choice, block
+        ``update_counts``, realized staleness bound, matrix name, ...).
+    summary:
+        Outcome written at close time (converged, sweep count, ...).
+    """
+
+    def __init__(self, meta: Dict[str, Any]):
+        self.meta: Dict[str, Any] = dict(meta)
+        self.sweep_index: List[int] = []
+        self.sweep_seconds: List[float] = []
+        self.sweep_active: List[Optional[int]] = []
+        self.residual_iters: List[int] = []
+        self.residual_norms: List[float] = []
+        self.events: List[Dict[str, Any]] = []
+        self.annotations: Dict[str, Any] = {}
+        self.summary: Dict[str, Any] = {}
+        self.opened_at = time.perf_counter()
+        self.elapsed: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of this record."""
+        out: Dict[str, Any] = {
+            "meta": _jsonable(self.meta),
+            "sweeps": {
+                "index": list(self.sweep_index),
+                "seconds": list(self.sweep_seconds),
+            },
+            "residuals": {
+                "iters": list(self.residual_iters),
+                "norms": list(self.residual_norms),
+            },
+            "events": _jsonable(self.events),
+            "annotations": _jsonable(self.annotations),
+            "summary": _jsonable(self.summary),
+        }
+        if any(a is not None for a in self.sweep_active):
+            out["sweeps"]["active"] = list(self.sweep_active)
+        if self.elapsed is not None:
+            out["elapsed_seconds"] = self.elapsed
+        return out
+
+
+class RunRecorder:
+    """Collects :class:`RunRecord` telemetry across one or more runs.
+
+    Drive it through :class:`repro.runtime.RunLoop` (pass ``recorder=``) or
+    attach it to a solver/engine (``solver.recorder``, ``engine.recorder``);
+    the loop opens a run per solve, records per-sweep timing and residuals,
+    and closes the run with its outcome.  Engines report discrete events
+    (fault activation, healing) into whichever run is current.  Export with
+    :meth:`to_json` or :meth:`dump`.
+    """
+
+    #: Version tag of the export format.
+    SCHEMA = "repro.runtime/v1"
+
+    def __init__(self) -> None:
+        self.runs: List[RunRecord] = []
+        self._current: Optional[RunRecord] = None
+
+    # --- run lifecycle ----------------------------------------------------
+
+    def open_run(self, **meta: Any) -> RunRecord:
+        """Start a new run; subsequent records land on it."""
+        record = RunRecord(meta)
+        self.runs.append(record)
+        self._current = record
+        return record
+
+    @property
+    def current(self) -> RunRecord:
+        """The run being recorded (opened on demand if none is)."""
+        if self._current is None:
+            return self.open_run(method="adhoc")
+        return self._current
+
+    def close_run(self, **summary: Any) -> None:
+        """Finish the current run, stamping its outcome and wall-clock."""
+        record = self.current
+        record.summary.update(summary)
+        record.elapsed = time.perf_counter() - record.opened_at
+
+    # --- per-sweep feed ---------------------------------------------------
+
+    def record_sweep(
+        self,
+        sweep: int,
+        seconds: float,
+        residual: Optional[float] = None,
+        *,
+        active: Optional[int] = None,
+    ) -> None:
+        """One global sweep: wall-clock, plus the residual if evaluated."""
+        record = self.current
+        record.sweep_index.append(int(sweep))
+        record.sweep_seconds.append(float(seconds))
+        record.sweep_active.append(None if active is None else int(active))
+        if residual is not None:
+            record.residual_iters.append(int(sweep))
+            record.residual_norms.append(float(residual))
+
+    def record_residual(self, sweep: int, residual: float) -> None:
+        """A residual sample outside the sweep feed (e.g. the initial one)."""
+        record = self.current
+        record.residual_iters.append(int(sweep))
+        record.residual_norms.append(float(residual))
+
+    def amend_residual(self, residual: float) -> None:
+        """Replace the most recent residual sample (recurrence → true)."""
+        record = self.current
+        if record.residual_norms:
+            record.residual_norms[-1] = float(residual)
+
+    def record_event(self, sweep: int, kind: str, **data: Any) -> None:
+        """A discrete occurrence (fault active/cleared, heal, stop, ...)."""
+        event: Dict[str, Any] = {"sweep": int(sweep), "kind": str(kind)}
+        event.update(data)
+        self.current.events.append(event)
+
+    def annotate(self, **facts: Any) -> None:
+        """Attach one-off facts (backend, update counts, ...) to the run."""
+        self.current.annotations.update(facts)
+
+    # --- export -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of everything recorded."""
+        return {"schema": self.SCHEMA, "runs": [r.to_dict() for r in self.runs]}
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The telemetry as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, default=_jsonable)
+
+    def dump(self, path) -> None:
+        """Write :meth:`to_json` to *path*."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")

@@ -8,53 +8,28 @@ the block-asynchronous solvers in :mod:`repro.core` — share one contract:
 returning a :class:`SolveResult` that records the *l2 residual norm at every
 global iteration* (the quantity all of the paper's convergence figures
 plot), plus convergence status and method-specific info.
+
+The loop itself lives in :mod:`repro.runtime`: every solver delegates its
+driving to :class:`repro.runtime.RunLoop`, which owns the stopping rule
+(:class:`StoppingCriterion`, defined there and re-exported here), the
+divergence guard, the ``residual_every`` recording cadence and the optional
+:class:`repro.runtime.RunRecorder` telemetry.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from .._util import check_square, check_vector
+from ..runtime import RunLoop, RunOutcome, StoppingCriterion
+from ..runtime.recorder import RunRecorder
 from ..sparse import CSRMatrix
 
 __all__ = ["StoppingCriterion", "SolveResult", "IterativeSolver"]
-
-
-@dataclass(frozen=True)
-class StoppingCriterion:
-    """Residual-based stopping rule.
-
-    ``relative=True`` (default) compares ``||r|| / ||b||`` against *tol*
-    (with ``||b|| = 0`` falling back to the absolute residual); otherwise
-    ``||r||`` itself is compared.  ``divergence_limit`` aborts runs whose
-    residual exploded (used for the ρ(B) > 1 experiments, where divergence
-    is the expected observation, not an error).
-    """
-
-    tol: float = 1e-14
-    maxiter: int = 1000
-    relative: bool = True
-    divergence_limit: float = 1e100
-
-    def __post_init__(self) -> None:
-        if self.tol < 0:
-            raise ValueError("tol must be non-negative")
-        if self.maxiter < 0:
-            raise ValueError("maxiter must be non-negative")
-
-    def threshold(self, b_norm: float) -> float:
-        """Absolute residual threshold for a given right-hand-side norm."""
-        if self.relative and b_norm > 0:
-            return self.tol * b_norm
-        return self.tol
-
-    def diverged(self, res_norm: float) -> bool:
-        """Whether *res_norm* signals blow-up."""
-        return not np.isfinite(res_norm) or res_norm > self.divergence_limit
 
 
 @dataclass
@@ -66,8 +41,11 @@ class SolveResult:
     x:
         Final iterate.
     residuals:
-        l2 residual norms, ``residuals[k]`` after *k* global iterations
-        (``residuals[0]`` is the initial residual).
+        l2 residual norms.  At the default recording cadence
+        (``residual_every=1``), ``residuals[k]`` is the residual after *k*
+        global iterations (``residuals[0]`` is the initial residual); at a
+        sparser cadence, :attr:`residual_iters` gives each sample's
+        iteration number.
     converged:
         Whether the stopping tolerance was reached.
     method:
@@ -76,6 +54,11 @@ class SolveResult:
         l2 norm of the right-hand side (for relative-residual plots).
     info:
         Method-specific extras (schedules, timing-model output, ...).
+    residual_iters:
+        Iteration number of each recorded residual, set only when the
+        recording cadence is sparser than every iteration
+        (``residual_every > 1``); ``None`` means the dense default
+        ``[0, 1, ..., len(residuals) - 1]``.
     """
 
     x: np.ndarray
@@ -84,10 +67,13 @@ class SolveResult:
     method: str
     b_norm: float
     info: Dict[str, Any] = field(default_factory=dict)
+    residual_iters: Optional[np.ndarray] = None
 
     @property
     def iterations(self) -> int:
-        """Number of global iterations performed."""
+        """Number of global iterations covered by the recorded history."""
+        if self.residual_iters is not None:
+            return int(self.residual_iters[-1])
         return len(self.residuals) - 1
 
     @property
@@ -107,17 +93,25 @@ class SolveResult:
         Fitted over the history after the first *skip* iterations, ignoring
         everything at or below *floor* (the rounding plateau).  ``None``
         when fewer than two usable points remain.  Comparable directly to
-        the spectral radius ρ of the iteration matrix.
+        the spectral radius ρ of the iteration matrix.  Sparse recording
+        cadences are handled: the fit uses each sample's true iteration
+        number.
         """
         rel = self.residuals
+        iters = (
+            self.residual_iters
+            if self.residual_iters is not None
+            else np.arange(len(rel))
+        )
         usable = np.flatnonzero(rel > floor)
-        usable = usable[usable >= skip]
+        usable = usable[iters[usable] >= skip]
         if len(usable) < 2:
             return None
         first, last = usable[0], usable[-1]
-        if rel[first] <= 0 or last == first:
+        span = int(iters[last] - iters[first])
+        if rel[first] <= 0 or span == 0:
             return None
-        return float((rel[last] / rel[first]) ** (1.0 / (last - first)))
+        return float((rel[last] / rel[first]) ** (1.0 / span))
 
     def to_dict(self, *, include_solution: bool = False) -> Dict[str, Any]:
         """JSON-serialisable summary (history always, iterate on request)."""
@@ -133,6 +127,8 @@ class SolveResult:
                 for k, v in self.info.items()
             },
         }
+        if self.residual_iters is not None:
+            out["residual_iters"] = [int(i) for i in self.residual_iters]
         if include_solution:
             out["x"] = self.x.tolist()
         return out
@@ -148,16 +144,37 @@ class IterativeSolver(abc.ABC):
     """Base class for all iterative solvers.
 
     Subclasses implement :meth:`_setup` (per-matrix precomputation) and
-    :meth:`_iterate` (one global iteration, in place); the base class owns
-    the loop, the residual recording and the stopping logic so all methods
-    report histories in exactly the same way.
+    :meth:`_iterate` (one global iteration, in place); the base class hands
+    the driving to :class:`repro.runtime.RunLoop` so all methods stop,
+    guard against divergence and report histories in exactly the same way.
+
+    Parameters
+    ----------
+    stopping:
+        Shared stopping rule.
+    residual_every:
+        Full-residual recording cadence *m* (see
+        :class:`repro.runtime.RunLoop`); 1 — the default used by every
+        paper figure — records each iteration.
+    recorder:
+        Optional :class:`repro.runtime.RunRecorder` telemetry sink.
     """
 
     #: Method tag used in results and reports; subclasses override.
     name = "iterative"
 
-    def __init__(self, stopping: Optional[StoppingCriterion] = None):
+    def __init__(
+        self,
+        stopping: Optional[StoppingCriterion] = None,
+        *,
+        residual_every: int = 1,
+        recorder: Optional[RunRecorder] = None,
+    ):
         self.stopping = stopping if stopping is not None else StoppingCriterion()
+        if residual_every < 1:
+            raise ValueError("residual_every must be >= 1")
+        self.residual_every = int(residual_every)
+        self.recorder = recorder
 
     # --- subclass protocol ------------------------------------------------
 
@@ -170,6 +187,29 @@ class IterativeSolver(abc.ABC):
         """Perform one global iteration, returning the new iterate."""
 
     # --- driver -----------------------------------------------------------
+
+    def _run_loop(self) -> RunLoop:
+        """The configured :class:`repro.runtime.RunLoop` for one solve."""
+        return RunLoop(
+            self.stopping,
+            residual_every=self.residual_every,
+            recorder=self.recorder,
+        )
+
+    def _result_from(self, outcome: RunOutcome, b_norm: float) -> SolveResult:
+        """Shape a :class:`SolveResult` from a loop outcome."""
+        result = SolveResult(
+            x=outcome.x,
+            residuals=outcome.residuals,
+            converged=outcome.converged,
+            method=self.name,
+            b_norm=b_norm,
+            info={"diverged": outcome.diverged},
+        )
+        if self.residual_every != 1:
+            result.residual_iters = outcome.residual_iters
+            result.info["sweeps"] = outcome.sweeps
+        return result
 
     def solve(
         self,
@@ -184,31 +224,14 @@ class IterativeSolver(abc.ABC):
         state = self._setup(A, b)
 
         b_norm = float(np.linalg.norm(b))
-        threshold = self.stopping.threshold(b_norm)
-        residuals: List[float] = [float(np.linalg.norm(A.residual(x, b)))]
-        converged = residuals[0] <= threshold
-        diverged = False
-
-        it = 0
-        while not converged and it < self.stopping.maxiter:
-            x = self._iterate(state, x)
-            it += 1
-            res = float(np.linalg.norm(A.residual(x, b)))
-            residuals.append(res)
-            if res <= threshold:
-                converged = True
-            elif self.stopping.diverged(res):
-                diverged = True
-                break
-
-        result = SolveResult(
-            x=x,
-            residuals=np.array(residuals),
-            converged=converged,
-            method=self.name,
+        outcome = self._run_loop().run(
+            x,
+            lambda x, it: self._iterate(state, x),
+            lambda x: float(np.linalg.norm(A.residual(x, b))),
             b_norm=b_norm,
-            info={"diverged": diverged},
+            method=self.name,
         )
+        result = self._result_from(outcome, b_norm)
         self._finalize(state, result)
         return result
 

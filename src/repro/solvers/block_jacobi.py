@@ -93,8 +93,9 @@ class BlockJacobiSolver(IterativeSolver):
         inner: str = "exact",
         inner_sweeps: int = 5,
         stopping: Optional[StoppingCriterion] = None,
+        **loop_options,
     ):
-        super().__init__(stopping)
+        super().__init__(stopping, **loop_options)
         if inner not in ("exact", "jacobi"):
             raise ValueError(f"inner must be 'exact' or 'jacobi', got {inner!r}")
         if block_size < 1:

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from .._util import check_square, check_vector
+from ..runtime import StopRun
 from ..sparse import CSRMatrix
 from .base import IterativeSolver, SolveResult, StoppingCriterion
 
@@ -54,8 +55,9 @@ class ConjugateGradientSolver(IterativeSolver):
         self,
         preconditioner: Optional[Preconditioner] = None,
         stopping: Optional[StoppingCriterion] = None,
+        **loop_options,
     ):
-        super().__init__(stopping)
+        super().__init__(stopping, **loop_options)
         self.preconditioner = preconditioner
         if preconditioner is not None:
             self.name = "pcg"
@@ -78,53 +80,48 @@ class ConjugateGradientSolver(IterativeSolver):
         x = np.zeros(n) if x0 is None else check_vector(x0, n, "x0").copy()
 
         b_norm = float(np.linalg.norm(b))
-        threshold = self.stopping.threshold(b_norm)
+        M = self.preconditioner
 
         r = A.residual(x, b)
-        residuals = [float(np.linalg.norm(r))]
-        converged = residuals[0] <= threshold
-        diverged = False
-        breakdown = False
+        z = M(r) if M else r
+        state = {"r": r, "p": z.copy(), "rz": float(r @ z), "fresh": True}
 
-        z = self.preconditioner(r) if self.preconditioner else r
-        p = z.copy()
-        rz = float(r @ z)
-
-        it = 0
-        while not converged and it < self.stopping.maxiter:
+        def step(x: np.ndarray, it: int) -> np.ndarray:
+            # Refresh the search direction from the previous iteration's
+            # residual — deferred from the end of that iteration (the
+            # classical placement) to here, which runs the identical ops on
+            # identical values whenever the loop continues, and skips them
+            # (they were dead work) when it does not.
+            if not state["fresh"]:
+                r = state["r"]
+                z = M(r) if M else r
+                rz_new = float(r @ z)
+                if state["rz"] == 0.0:
+                    raise StopRun("breakdown")
+                beta = rz_new / state["rz"]
+                state["rz"] = rz_new
+                state["p"] = z + beta * state["p"]
+            state["fresh"] = False
+            p = state["p"]
             Ap = A.matvec(p)
             pAp = float(p @ Ap)
             if pAp <= 0 or not np.isfinite(pAp):
                 # Loss of positive definiteness (numerically or truly):
                 # report what we have instead of dividing by garbage.
-                breakdown = True
-                break
-            alpha = rz / pAp
+                raise StopRun("breakdown")
+            alpha = state["rz"] / pAp
             x += alpha * p
-            r -= alpha * Ap
-            it += 1
-            res = float(np.linalg.norm(A.residual(x, b)))
-            residuals.append(res)
-            if res <= threshold:
-                converged = True
-                break
-            if self.stopping.diverged(res):
-                diverged = True
-                break
-            z = self.preconditioner(r) if self.preconditioner else r
-            rz_new = float(r @ z)
-            if rz == 0.0:
-                breakdown = True
-                break
-            beta = rz_new / rz
-            rz = rz_new
-            p = z + beta * p
+            state["r"] -= alpha * Ap
+            return x
 
-        return SolveResult(
-            x=x,
-            residuals=np.array(residuals),
-            converged=converged,
-            method=self.name,
+        outcome = self._run_loop().run(
+            x,
+            step,
+            lambda x: float(np.linalg.norm(A.residual(x, b))),
             b_norm=b_norm,
-            info={"diverged": diverged, "breakdown": breakdown},
+            method=self.name,
+            r0=float(np.linalg.norm(r)),
         )
+        result = self._result_from(outcome, b_norm)
+        result.info["breakdown"] = outcome.stop_reason == "breakdown"
+        return result

@@ -59,8 +59,9 @@ class ChebyshevSolver(IterativeSolver):
         *,
         lanczos_steps: int = 150,
         stopping: Optional[StoppingCriterion] = None,
+        **loop_options,
     ):
-        super().__init__(stopping)
+        super().__init__(stopping, **loop_options)
         if (lambda_min is None) != (lambda_max is None):
             raise ValueError("give both spectrum bounds or neither")
         if lambda_min is not None and not (0 < lambda_min <= lambda_max):

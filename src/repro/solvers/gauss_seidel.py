@@ -52,8 +52,13 @@ class SORSolver(IterativeSolver):
 
     name = "sor"
 
-    def __init__(self, omega: float = 1.0, stopping: Optional[StoppingCriterion] = None):
-        super().__init__(stopping)
+    def __init__(
+        self,
+        omega: float = 1.0,
+        stopping: Optional[StoppingCriterion] = None,
+        **loop_options,
+    ):
+        super().__init__(stopping, **loop_options)
         if not (0 < omega < 2):
             raise ValueError("SOR requires omega in (0, 2)")
         self.omega = omega
@@ -88,5 +93,5 @@ class GaussSeidelSolver(SORSolver):
 
     name = "gauss-seidel"
 
-    def __init__(self, stopping: Optional[StoppingCriterion] = None):
-        super().__init__(omega=1.0, stopping=stopping)
+    def __init__(self, stopping: Optional[StoppingCriterion] = None, **loop_options):
+        super().__init__(omega=1.0, stopping=stopping, **loop_options)

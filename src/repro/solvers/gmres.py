@@ -43,6 +43,15 @@ class GMRESSolver(IterativeSolver):
     stopping:
         ``maxiter`` counts *inner* iterations (matrix-vector products), so
         budgets are comparable with the relaxation solvers'.
+
+    Notes
+    -----
+    GMRES records a *recurrence* residual estimate per inner step (the
+    Givens-rotated ``|g[k+1]|`` — no extra matvec), amending it with the
+    true residual at each restart boundary, so its loop drives a
+    :class:`repro.runtime.RunLedger` rather than the standard
+    :class:`repro.runtime.RunLoop`; the ``residual_every`` cadence does not
+    apply (the estimates already come for free).
     """
 
     name = "gmres"
@@ -52,8 +61,9 @@ class GMRESSolver(IterativeSolver):
         restart: int = 30,
         preconditioner: Optional[Preconditioner] = None,
         stopping: Optional[StoppingCriterion] = None,
+        **loop_options,
     ):
-        super().__init__(stopping)
+        super().__init__(stopping, **loop_options)
         if restart < 1:
             raise ValueError("restart must be >= 1")
         self.restart = restart
@@ -79,18 +89,18 @@ class GMRESSolver(IterativeSolver):
         M = self.preconditioner
 
         b_norm = float(np.linalg.norm(b))
-        threshold = self.stopping.threshold(b_norm)
         m = self.restart
 
-        residuals = [float(np.linalg.norm(A.residual(x, b)))]
-        converged = residuals[0] <= threshold
+        ledger = self._run_loop().ledger(b_norm, method=self.name)
+        threshold = ledger.threshold
+        ledger.start(float(np.linalg.norm(A.residual(x, b))))
         inner_done = 0
 
-        while not converged and inner_done < self.stopping.maxiter:
+        while not ledger.converged and inner_done < self.stopping.maxiter:
             r = A.residual(x, b)
             beta = float(np.linalg.norm(r))
             if beta == 0.0:
-                converged = True
+                ledger.converged = True
                 break
             V = np.zeros((m + 1, n))
             H = np.zeros((m + 1, m))
@@ -130,7 +140,7 @@ class GMRESSolver(IterativeSolver):
                 g[k + 1] = -sn[k] * g[k]
                 g[k] = cs[k] * g[k]
                 k_used = k + 1
-                residuals.append(abs(float(g[k + 1])))
+                ledger.record(inner_done, abs(float(g[k + 1])))
                 if abs(g[k + 1]) <= threshold:
                     break
 
@@ -142,18 +152,18 @@ class GMRESSolver(IterativeSolver):
                 update = V[:k_used].T @ y
                 x += M(update) if M is not None else update
             true_res = float(np.linalg.norm(A.residual(x, b)))
-            residuals[-1] = true_res  # replace the recurrence estimate
-            if true_res <= threshold:
-                converged = True
-            elif self.stopping.diverged(true_res):
+            ledger.amend_last(true_res)  # replace the recurrence estimate
+            if ledger.check(true_res) and ledger.diverged:
                 break
             if k_used == 0:
                 break  # no progress possible (budget exhausted mid-cycle)
 
+        ledger.finish(inner_iterations=inner_done)
+        residuals = ledger.history()
         return SolveResult(
             x=x,
-            residuals=np.array(residuals),
-            converged=converged,
+            residuals=residuals,
+            converged=ledger.converged,
             method=self.name,
             b_norm=b_norm,
             info={"diverged": bool(self.stopping.diverged(residuals[-1])), "restart": m},

@@ -41,12 +41,20 @@ class JacobiSolver(IterativeSolver):
         Relaxation weight (1.0 = classical Jacobi).
     stopping:
         Shared stopping rule (see :class:`repro.solvers.StoppingCriterion`).
+    **loop_options:
+        :class:`IterativeSolver` keyword options (``residual_every``,
+        ``recorder``).
     """
 
     name = "jacobi"
 
-    def __init__(self, omega: float = 1.0, stopping: Optional[StoppingCriterion] = None):
-        super().__init__(stopping)
+    def __init__(
+        self,
+        omega: float = 1.0,
+        stopping: Optional[StoppingCriterion] = None,
+        **loop_options,
+    ):
+        super().__init__(stopping, **loop_options)
         if omega <= 0:
             raise ValueError("omega must be positive")
         self.omega = omega

@@ -56,8 +56,13 @@ class SSORSolver(IterativeSolver):
 
     name = "ssor"
 
-    def __init__(self, omega: float = 1.0, stopping: Optional[StoppingCriterion] = None):
-        super().__init__(stopping)
+    def __init__(
+        self,
+        omega: float = 1.0,
+        stopping: Optional[StoppingCriterion] = None,
+        **loop_options,
+    ):
+        super().__init__(stopping, **loop_options)
         if not (0 < omega < 2):
             raise ValueError("SSOR requires omega in (0, 2)")
         self.omega = omega

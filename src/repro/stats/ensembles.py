@@ -28,6 +28,7 @@ import numpy as np
 from ..core.block_async import BlockAsyncSolver
 from ..core.engine import BatchedAsyncEngine
 from ..core.schedules import AsyncConfig
+from ..runtime.recorder import RunRecorder
 from ..solvers.base import SolveResult, StoppingCriterion
 from ..sparse import BlockRowView, CSRMatrix
 from .runstats import EnsembleStats
@@ -66,6 +67,7 @@ def _batched_histories(
     config: AsyncConfig,
     seed0: int,
     relative: bool,
+    recorder: Optional[RunRecorder] = None,
 ) -> List[np.ndarray]:
     """All R residual histories from one multi-vector solve.
 
@@ -75,43 +77,17 @@ def _batched_histories(
     exactness contract), same residual evaluations (multi-vector SpMV is
     bitwise identical per row; norms are taken per replica row), same
     early-exit rules (exact zero → converged, non-finite/huge → diverged).
+    The loop itself is :meth:`repro.runtime.RunLoop.run_batched`, driven
+    through :meth:`repro.core.BatchedAsyncEngine.run`.
     """
-    n = A.shape[0]
     view = BlockRowView(A, block_size=config.block_size)
     engine = BatchedAsyncEngine(view, b, config, nruns, seed0=seed0)
-    stopping = StoppingCriterion(tol=0.0, maxiter=iterations)
+    outcome = engine.run(
+        stopping=StoppingCriterion(tol=0.0, maxiter=iterations), recorder=recorder
+    )
     b_norm = float(np.linalg.norm(b))
-    threshold = stopping.threshold(b_norm)
-
-    X = np.zeros((nruns, n))
-    # x0 = 0 for every replica, so the initial residual is shared.
-    r0 = float(np.linalg.norm(A.residual(np.zeros(n), b)))
-    histories: List[List[float]] = [[r0] for _ in range(nruns)]
-    active = list(range(nruns)) if r0 > threshold else []
-
-    res_row = np.empty(n)
-    for _ in range(iterations):
-        if not active:
-            break
-        reps = np.asarray(active, dtype=np.int64)
-        engine.sweep(X, reps)
-        still = []
-        for i, r in enumerate(active):
-            # One cache-resident 1-D residual per replica — bitwise the
-            # sequential solver's own evaluation, and faster on a CPU than
-            # the (R, nnz) multi-vector gather.
-            A.matvec(X[r], out=res_row)
-            np.subtract(b, res_row, out=res_row)
-            res = float(np.linalg.norm(res_row))
-            histories[r].append(res)
-            if res <= threshold or stopping.diverged(res):
-                continue  # frozen from here on, like a sequential early exit
-            still.append(r)
-        active = still
-
     out = []
-    for hist in histories:
-        h = np.array(hist)
+    for h in outcome.histories:
         if relative and b_norm > 0:
             h = h / b_norm
         out.append(_pad_history(h, iterations))
@@ -130,6 +106,7 @@ def run_ensemble(
     relative: bool = True,
     seed0: int = 0,
     batched: Optional[bool] = None,
+    recorder: Optional[RunRecorder] = None,
 ) -> EnsembleStats:
     """Run *nruns* fixed-length solves and aggregate their histories.
 
@@ -170,6 +147,11 @@ def run_ensemble(
         ``True`` forces the batched path (an error with *factory*);
         ``False`` forces the sequential path.  Both paths are bitwise
         identical for config-driven ensembles.
+    recorder:
+        Optional :class:`repro.runtime.RunRecorder` telemetry sink.  The
+        batched path records one run covering all replicas; the sequential
+        path attaches the recorder to each solver that has none (one run
+        per seed).
     """
     if nruns < 1:
         raise ValueError("nruns must be >= 1")
@@ -186,7 +168,7 @@ def run_ensemble(
                 "factories (faults, custom solvers) run sequentially"
             )
         histories = _batched_histories(
-            A, b, nruns, iterations, config, seed0, relative
+            A, b, nruns, iterations, config, seed0, relative, recorder
         )
         return EnsembleStats.from_histories(histories, checkpoints)
 
@@ -207,6 +189,8 @@ def run_ensemble(
         # deliberately configured stopping behaviour.
         if solver.stopping.maxiter != iterations:
             solver.stopping = dataclasses.replace(solver.stopping, maxiter=iterations)
+        if recorder is not None and getattr(solver, "recorder", None) is None:
+            solver.recorder = recorder
         result: SolveResult = solver.solve(A, b)
         h = result.relative_residuals() if relative else result.residuals
         histories.append(_pad_history(h, iterations))

@@ -86,3 +86,96 @@ def test_experiment_json_output(capsys):
     data = json.loads(capsys.readouterr().out)
     assert data["experiment_id"] == "F8"
     assert data["series"]
+
+
+def test_solve_telemetry_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "run.json"
+    code = main(
+        [
+            "solve",
+            "Trefethen_2000",
+            "--solver",
+            "async",
+            "--block-size",
+            "64",
+            "--tol",
+            "1e-8",
+            "--telemetry-json",
+            str(path),
+        ]
+    )
+    assert code == 0
+    data = json.loads(path.read_text())
+    assert data["schema"] == "repro.runtime/v1"
+    (run,) = data["runs"]
+    assert run["meta"]["method"].startswith("async-")
+    assert run["annotations"]["matrix"] == "Trefethen_2000"
+    assert len(run["sweeps"]["seconds"]) == len(run["sweeps"]["index"])
+    assert run["residuals"]["norms"][0] > run["residuals"]["norms"][-1]
+    assert run["summary"]["converged"] is True
+
+
+def test_solve_residual_every_records_cadence(tmp_path):
+    import json
+
+    path = tmp_path / "run.json"
+    code = main(
+        [
+            "solve",
+            "Trefethen_2000",
+            "--solver",
+            "jacobi",
+            "--tol",
+            "1e-8",
+            "--maxiter",
+            "1200",
+            "--residual-every",
+            "50",
+            "--telemetry-json",
+            str(path),
+        ]
+    )
+    assert code == 0
+    (run,) = json.loads(path.read_text())["runs"]
+    assert run["meta"]["residual_every"] == 50
+    iters = run["residuals"]["iters"]
+    assert iters[0] == 0
+    assert all(i % 50 == 0 for i in iters[:-1])
+
+
+def test_experiment_telemetry_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "f6.json"
+    assert main(["experiment", "F6", "--telemetry-json", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["schema"] == "repro.runtime/v1"
+    # One async run per Figure 6 panel, each tagged with its matrix.
+    matrices = {run["annotations"]["matrix"] for run in data["runs"]}
+    assert "fv1" in matrices and "s1rmt3m1" in matrices
+
+
+def test_experiment_telemetry_unsupported_errors(tmp_path, capsys):
+    path = tmp_path / "t1.json"
+    assert main(["experiment", "T1", "--telemetry-json", str(path)]) == 2
+    assert "telemetry" in capsys.readouterr().err
+    assert not path.exists()
+
+
+def test_experiment_all_rejects_telemetry(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "experiment",
+                "all",
+                "--outdir",
+                str(tmp_path),
+                "--telemetry-json",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        == 2
+    )
+    assert "single experiment" in capsys.readouterr().err
