@@ -19,6 +19,9 @@ Package map
 -----------
 * :mod:`repro.sparse`      — CSR/COO containers, block-row decomposition,
   spectral estimation (the storage/kernel substrate).
+* :mod:`repro.partition`   — first-class row-block decompositions: the
+  :class:`Partition` object and the ``uniform`` / ``work_balanced`` /
+  ``rcm`` / ``clustered`` strategy registry.
 * :mod:`repro.matrices`    — reconstructions of the paper's seven UFMC
   test systems, characterization, MatrixMarket I/O, RCM reordering.
 * :mod:`repro.solvers`     — synchronous baselines: Jacobi, Gauss-Seidel /
@@ -36,6 +39,7 @@ Package map
 
 from .core import AsyncConfig, BlockAsyncSolver, FaultScenario
 from .matrices import PAPER_TABLE1, SUITE_NAMES, characterize, default_rhs, get_matrix
+from .partition import Partition, make_partition
 from .solvers import (
     ConjugateGradientSolver,
     GaussSeidelSolver,
@@ -68,5 +72,7 @@ __all__ = [
     "BlockRowView",
     "COOMatrix",
     "CSRMatrix",
+    "Partition",
+    "make_partition",
     "__version__",
 ]

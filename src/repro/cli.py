@@ -74,8 +74,9 @@ def _build_solver(args, recorder=None):
         return ConjugateGradientSolver(**kwargs)
     if name == "gmres":
         return GMRESSolver(**kwargs)
+    partition = getattr(args, "partition", "uniform")
     if name == "block-jacobi":
-        return BlockJacobiSolver(block_size=args.block_size, **kwargs)
+        return BlockJacobiSolver(block_size=args.block_size, partition=partition, **kwargs)
     if name == "chebyshev":
         return ChebyshevSolver(**kwargs)
     cfg = paper_async_config(
@@ -84,6 +85,7 @@ def _build_solver(args, recorder=None):
         seed=args.seed,
         omega=args.omega,
         backend=args.backend,
+        partition=partition,
         residual_every=every,
     )
     return BlockAsyncSolver(cfg, stopping=stopping, recorder=recorder)
@@ -141,11 +143,12 @@ def _cmd_solve(args) -> int:
         from .runtime import RunRecorder
 
         recorder = RunRecorder()
-    solver = _build_solver(args, recorder=recorder)
     try:
+        # Solver construction validates the partition spec and backend;
+        # solve() rejects e.g. --backend=fused in a non-exact regime.
+        solver = _build_solver(args, recorder=recorder)
         result = solver.solve(A, b)
     except ValueError as exc:
-        # e.g. --backend=fused in a regime where fusion is not exact.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if recorder is not None:
@@ -253,6 +256,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="sweep execution backend for --solver=async (timing only; "
         "iterates are bitwise identical wherever a backend may run)",
+    )
+    ps.add_argument(
+        "--partition",
+        metavar="STRATEGY[:PARAM]",
+        default="uniform",
+        help="row-block decomposition strategy for --solver=async/block-jacobi: "
+        "uniform[:block_size], work_balanced[:nblocks], rcm[:block_size], "
+        "clustered[:block_size] (default uniform — the paper's CUDA-grid cut; "
+        "PARAM falls back to --block-size)",
     )
     ps.add_argument("--rhs", choices=("ones", "random", "unit"), default="ones")
     ps.add_argument(

@@ -15,10 +15,12 @@ how many local Jacobi sweeps (*k*) run inside each block — the local sweeps
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from .._util import check_square, check_vector
+from ..partition import Partition, make_partition
 from ..runtime.recorder import RunRecorder
 from ..sparse import BlockRowView, CSRMatrix
 from ..solvers.base import IterativeSolver, SolveResult, StoppingCriterion
@@ -47,7 +49,19 @@ class BlockAsyncSolver(IterativeSolver):
         Shortcuts overriding the corresponding :class:`AsyncConfig` fields
         (ignored if *config* is given).
     fault:
-        Optional :class:`FaultScenario` (§4.5 experiments).
+        Optional :class:`FaultScenario` (§4.5 experiments).  With a
+        permuting partition, frozen rows are interpreted in partition
+        order (the order the blocks actually sweep).
+    partition:
+        Row-block decomposition: a ``strategy[:param]`` spec string (see
+        :mod:`repro.partition.strategies`) or a ready-made
+        :class:`repro.partition.Partition`.  Overrides
+        ``config.partition``; the default ``"uniform"`` reproduces the
+        historical ``block_size`` cuts bitwise.  Strategies carrying a
+        row permutation (``rcm``, ``clustered``) iterate on the permuted
+        system — residual histories are reported in that (partition)
+        order, matching a direct solve of the permuted system bitwise —
+        while the returned solution is mapped back to original row order.
     stopping:
         Shared stopping rule.
     residual_every:
@@ -78,6 +92,7 @@ class BlockAsyncSolver(IterativeSolver):
         seed=0,
         omega: float = 1.0,
         fault: Optional[FaultScenario] = None,
+        partition: Optional[Union[str, Partition]] = None,
         stopping: Optional[StoppingCriterion] = None,
         residual_every: Optional[int] = None,
         recorder: Optional[RunRecorder] = None,
@@ -98,10 +113,39 @@ class BlockAsyncSolver(IterativeSolver):
         )
         self.config = config
         self.fault = fault
+        self.partition = partition if partition is not None else config.partition
         self.name = config.method_name
 
+    def solve(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        """Solve ``A x = b`` on the configured partition.
+
+        Builds the :class:`repro.partition.Partition` and block view up
+        front, then routes through the shared partition-aware driver: the
+        default ``uniform`` path is bitwise the historical flow, while
+        permuting strategies iterate in partition order and report the
+        solution back in original row order (see the class docstring).
+        """
+        n = check_square(A.shape, f"{self.name} matrix")
+        check_vector(b, n, "b")
+        part = make_partition(A, self.partition, block_size=self.config.block_size)
+        view = BlockRowView(A, partition=part)
+        return self._solve_partitioned(view, A, b, x0)
+
     def _setup(self, A: CSRMatrix, b: np.ndarray) -> _AsyncState:
-        view = BlockRowView(A, block_size=self.config.block_size)
+        view = self._pending_view
+        if view is None or view.matrix is not A:
+            part = make_partition(A, self.partition, block_size=self.config.block_size)
+            if part.perm is not None:
+                raise ValueError(
+                    "permuting partitions must go through solve(); "
+                    "_setup received the unpermuted matrix"
+                )
+            view = BlockRowView(A, partition=part)
         engine = AsyncEngine(view, b, self.config, fault=self.fault)
         engine.recorder = self.recorder
         return _AsyncState(view=view, engine=engine)
@@ -119,6 +163,7 @@ class BlockAsyncSolver(IterativeSolver):
                 "staleness_bound": state.engine.scheduler.staleness_bound(),
                 "off_block_fraction": state.view.off_block_fraction(),
                 "order": self.config.order,
+                "partition": state.view.partition_telemetry(),
             }
         )
         if self.fault is not None:
@@ -129,4 +174,5 @@ class BlockAsyncSolver(IterativeSolver):
                 nblocks=state.view.nblocks,
                 staleness_bound=state.engine.scheduler.staleness_bound(),
                 update_counts=state.engine.update_counts.tolist(),
+                partition=state.view.partition_telemetry(),
             )

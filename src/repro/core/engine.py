@@ -99,7 +99,7 @@ class AsyncEngine:
         self.config = config
         self.fault = fault
         self.rng = rng if rng is not None else as_rng(config.seed)
-        self.scheduler = WaveScheduler(view.nblocks, config, self.rng)
+        self.scheduler = WaveScheduler(view.partition, config, self.rng)
         self.update_counts = np.zeros(view.nblocks, dtype=np.int64)
         self.sweep_index = 0
         #: Optional telemetry sink (:class:`repro.runtime.RunRecorder`):
@@ -227,6 +227,7 @@ class AsyncEngine:
                 nblocks=self.view.nblocks,
                 staleness_bound=self.scheduler.staleness_bound(),
                 update_counts=self.update_counts.tolist(),
+                partition=self.view.partition_telemetry(),
             )
         result = SolveResult(
             x=outcome.x,
@@ -340,7 +341,7 @@ class BatchedAsyncEngine:
         # Scheduler construction consumes RNG ("gpu" pattern pools) exactly
         # as the sequential engine's __init__ does.
         self.schedulers = [
-            WaveScheduler(view.nblocks, config, rng) for rng in self.rngs
+            WaveScheduler(view.partition, config, rng) for rng in self.rngs
         ]
         self.update_counts = np.zeros((self.nreplicas, view.nblocks), dtype=np.int64)
         self.sweep_index = 0
@@ -788,7 +789,7 @@ class BatchedAsyncEngine:
             return out
 
         loop = RunLoop(stopping, residual_every=residual_every, recorder=recorder)
-        return loop.run_batched(
+        out = loop.run_batched(
             X,
             lambda reps: self.sweep(X, reps),
             residual_norms,
@@ -796,6 +797,12 @@ class BatchedAsyncEngine:
             method=f"batched-{self.config.method_name}",
             r0=np.full(R, r0),
         )
+        if recorder is not None:
+            recorder.annotate(
+                backend=self.backend,
+                partition=self.view.partition_telemetry(),
+            )
+        return out
 
     def min_updates(self) -> int:
         """Fewest updates any (replica, block) pair has received."""

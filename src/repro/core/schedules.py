@@ -58,6 +58,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._util import RNGLike, as_rng
+from ..partition import Partition, parse_partition_spec
 
 __all__ = ["AsyncConfig", "WaveScheduler", "UPDATE_ORDERS", "BACKENDS", "replica_rngs"]
 
@@ -114,6 +115,13 @@ class AsyncConfig:
         Sweep-execution backend, one of :data:`BACKENDS`.  An execution
         strategy, not a semantic knob: every backend produces bitwise the
         same iterates wherever it is allowed to run (:mod:`repro.perf`).
+    partition:
+        ``strategy[:param]`` spec naming the row-block decomposition
+        strategy (see :mod:`repro.partition.strategies`): ``"uniform"``
+        (the default — bitwise-identical to the historical
+        ``block_size`` cuts), ``"work_balanced"``, ``"rcm"``,
+        ``"clustered"``.  A missing param falls back to
+        :attr:`block_size`.
     seed:
         Master seed of the run — two runs with the same seed are bitwise
         identical; different seeds model different nondeterministic
@@ -138,6 +146,7 @@ class AsyncConfig:
     pattern_pool: int = 4
     jitter_swaps: int = 2
     backend: str = "auto"
+    partition: str = "uniform"
     seed: RNGLike = 0
     residual_every: int = 1
 
@@ -162,6 +171,7 @@ class AsyncConfig:
             raise ValueError("jitter_swaps must be >= 0")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        parse_partition_spec(self.partition)  # raises ValueError on bad specs
         if self.residual_every < 1:
             raise ValueError("residual_every must be >= 1")
 
@@ -176,8 +186,11 @@ class WaveScheduler:
 
     Parameters
     ----------
-    nblocks:
-        Number of row blocks in the partition.
+    partition:
+        The :class:`repro.partition.Partition` being scheduled — the block
+        count (and hence the wave shapes and staleness bound) comes from
+        it.  A bare block count (``int``) is accepted for partition-free
+        callers.
     config:
         The :class:`AsyncConfig` whose ordering knobs apply.
     rng:
@@ -185,7 +198,13 @@ class WaveScheduler:
         schedule and staleness draws share one reproducible stream).
     """
 
-    def __init__(self, nblocks: int, config: AsyncConfig, rng: np.random.Generator):
+    def __init__(self, partition, config: AsyncConfig, rng: np.random.Generator):
+        if isinstance(partition, Partition):
+            self.partition: Optional[Partition] = partition
+            nblocks = partition.nblocks
+        else:
+            self.partition = None
+            nblocks = int(partition)
         if nblocks < 1:
             raise ValueError("nblocks must be >= 1")
         self.nblocks = nblocks

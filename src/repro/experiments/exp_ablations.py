@@ -114,19 +114,19 @@ def run(quick: bool = True) -> ExperimentResult:
         )
     )
 
-    # A5 — row-balanced vs work-balanced partitions on Trefethen_2000.
-    from ..sparse import partition_rows_by_work
+    # A5 — row-balanced vs work-balanced partitions on Trefethen_2000,
+    # selected through the partition-strategy registry.
+    from ..partition import make_partition
 
     T = get_matrix("Trefethen_2000")
     bt = default_rhs(T)
     rows = []
-    for label, view in (
-        ("equal rows (125/block)", BlockRowView(T, block_size=125)),
-        ("equal work (16 blocks)", BlockRowView(T, boundaries=partition_rows_by_work(T, 16))),
+    for label, spec in (
+        ("equal rows (125/block)", "uniform:125"),
+        ("equal work (16 blocks)", "work_balanced:16"),
     ):
+        view = BlockRowView(T, partition=make_partition(T, spec))
         work = [blk.local_off.nnz + blk.external.nnz + blk.nrows for blk in view.blocks]
-        # Custom boundaries need the engine directly (the solver wrapper
-        # only takes uniform block sizes).
         from ..core.engine import AsyncEngine
 
         engine = AsyncEngine(view, bt, paper_async_config(5, block_size=128, seed=1))

@@ -37,16 +37,23 @@ def _batched_async_solve(A, b, solver: BlockAsyncSolver, stopping: StoppingCrite
     path of the figure's async curves without changing the figures.  The
     iteration itself is :class:`repro.runtime.RunLoop` with the ``(1, n)``
     multi-vector as the iterate.
+
+    The solver's partition spec is honoured: permuting strategies advance
+    the permuted system (histories in partition order, like the
+    sequential path) and report the solution in original row order.
     """
     from ..core.engine import BatchedAsyncEngine
+    from ..partition import make_partition
     from ..runtime import RunLoop
     from ..sparse import BlockRowView
 
     cfg = solver.config
-    view = BlockRowView(A, block_size=cfg.block_size)
-    engine = BatchedAsyncEngine(view, b, cfg, 1, seed0=int(cfg.seed))
+    part = make_partition(A, solver.partition, block_size=cfg.block_size)
+    view = BlockRowView(A, partition=part)
+    Ap, bp = view.matrix, view.permute_vector(b)
+    engine = BatchedAsyncEngine(view, bp, cfg, 1, seed0=int(cfg.seed))
     X = np.zeros((1, A.shape[0]))
-    b_norm = float(np.linalg.norm(b))
+    b_norm = float(np.linalg.norm(bp))
     loop = RunLoop(
         stopping,
         residual_every=solver.residual_every,
@@ -59,12 +66,16 @@ def _batched_async_solve(A, b, solver: BlockAsyncSolver, stopping: StoppingCrite
     outcome = loop.run(
         X,
         step,
-        lambda X: float(np.linalg.norm(A.residual(X[0], b))),
+        lambda X: float(np.linalg.norm(Ap.residual(X[0], bp))),
         b_norm=b_norm,
         method=f"batched-{cfg.method_name}",
     )
+    if solver.recorder is not None:
+        solver.recorder.annotate(
+            backend=engine.backend, partition=view.partition_telemetry()
+        )
     result = SolveResult(
-        x=X[0].copy(),
+        x=view.unpermute_vector(X[0].copy()),
         residuals=outcome.residuals,
         converged=outcome.converged,
         method=cfg.method_name,

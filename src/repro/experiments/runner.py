@@ -68,6 +68,7 @@ def paper_async_config(
     seed: int = 0,
     omega: float = 1.0,
     backend: str = "auto",
+    partition: str = "uniform",
     residual_every: int = 1,
 ) -> AsyncConfig:
     """The experiment-standard async-(k) configuration.
@@ -75,8 +76,11 @@ def paper_async_config(
     Concurrency comes from the Fermi C2070 occupancy at the given thread
     block size, as on the paper's hardware.  *backend* selects the sweep
     execution strategy (:data:`repro.core.schedules.BACKENDS`) — a timing
-    knob only, never a change in iterates.  *residual_every* sets the
-    full-residual recording cadence (paper figures use 1; see
+    knob only, never a change in iterates.  *partition* selects the
+    row-block decomposition strategy (``strategy[:param]``, see
+    :mod:`repro.partition.strategies`; the default ``"uniform"`` is the
+    paper's CUDA-grid cut).  *residual_every* sets the full-residual
+    recording cadence (paper figures use 1; see
     :class:`repro.runtime.RunLoop`).
     """
     return AsyncConfig(
@@ -87,6 +91,7 @@ def paper_async_config(
         seed=seed,
         omega=omega,
         backend=backend,
+        partition=partition,
         residual_every=residual_every,
     )
 

@@ -226,8 +226,18 @@ class MultiGPUModel:
         return iterations * self.iteration_time(strategy, matrix, ngpus, block_size=block_size)
 
 
-def device_partition(nblocks: int, ngpus: int) -> np.ndarray:
-    """Device id per block: contiguous balanced ranges (paper §3.4)."""
+def device_partition(nblocks, ngpus: int) -> np.ndarray:
+    """Device id per block: contiguous balanced ranges (paper §3.4).
+
+    *nblocks* is a block count or a :class:`repro.partition.Partition`
+    (whose block count is used) — the splitter rides on whatever
+    decomposition the engine runs, uniform or not.
+    """
+    from ..partition import Partition
+
+    if isinstance(nblocks, Partition):
+        nblocks = nblocks.nblocks
+    nblocks = int(nblocks)
     if nblocks < 1 or ngpus < 1:
         raise ValueError("nblocks and ngpus must be positive")
     return np.minimum((np.arange(nblocks) * ngpus) // nblocks, ngpus - 1).astype(np.int64)
@@ -259,7 +269,7 @@ class MultiDeviceEngine(AsyncEngine):
         # right-hand-side slices (the base engine's are plan/executor
         # internals).
         self._b_blocks = [self.b[blk.rows] for blk in view.blocks]
-        self.assignment = device_partition(view.nblocks, ngpus)
+        self.assignment = device_partition(view.partition, ngpus)
         # Per block: split the external part into same-device columns
         # (read live) and remote columns (read from the sweep snapshot).
         self._near: List = []

@@ -1,0 +1,31 @@
+"""First-class row-block decompositions (:class:`Partition`) and strategies.
+
+One object — boundaries, optional reordering, strategy name, cached
+quality stats — threaded through :class:`repro.sparse.BlockRowView`,
+sweep plans, engines, solvers, and experiments, replacing raw
+``block_size``/boundary-array plumbing.  See :mod:`repro.partition.core`
+for the dataclass and :mod:`repro.partition.strategies` for the
+``strategy[:param]`` registry (``uniform``, ``work_balanced``, ``rcm``,
+``clustered``).
+"""
+
+from .core import Partition, PartitionStats, compute_stats
+from .rows import partition_rows, partition_rows_by_work
+from .strategies import (
+    available_strategies,
+    make_partition,
+    parse_partition_spec,
+    register_strategy,
+)
+
+__all__ = [
+    "Partition",
+    "PartitionStats",
+    "available_strategies",
+    "compute_stats",
+    "make_partition",
+    "parse_partition_spec",
+    "partition_rows",
+    "partition_rows_by_work",
+    "register_strategy",
+]

@@ -1,0 +1,229 @@
+"""The :class:`Partition` object — one first-class row-block decomposition.
+
+The paper's async-(k) method is defined entirely in terms of a row-block
+decomposition (§3.3's "subdomains", one per GPU thread block), and its
+results show the decomposition is decisive: matrices whose diagonal blocks
+are nearly diagonal gain little from local sweeps while fv1–fv3 gain a
+lot.  A :class:`Partition` bundles everything that defines one such
+decomposition — the boundary array, an optional symmetric row permutation
+(RCM / clustering reorderings change *which* couplings are local), the
+strategy that built it, and cached quality statistics — so views, sweep
+plans, engines, and experiments all speak about the same object instead of
+re-deriving block metadata from raw boundary arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+import numpy as np
+
+from .._util import as_index_array
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sparse.csr import CSRMatrix
+
+__all__ = ["Partition", "PartitionStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Quality statistics of a partition, measured on a concrete matrix.
+
+    All quantities are computed in *partition order* (after any row
+    permutation has been applied), since that is the order the blocks see.
+    """
+
+    #: Rows per block.
+    block_rows: np.ndarray
+    #: Stored entries per block (each block's full rows).
+    block_nnz: np.ndarray
+    #: ``max / mean`` of :attr:`block_nnz` — the GPU load-skew measure
+    #: (1.0 = perfectly work-balanced thread blocks).
+    imbalance: float
+    #: Fraction of off-diagonal ``|mass|`` coupling across blocks — the
+    #: paper's §4.1/§4.3 predictor of async-(k) gains.
+    off_block_fraction: float
+    #: Stored in-block entries over total in-block capacity
+    #: ``sum(rows_k^2)`` — how "dense" the diagonal blocks are.
+    diag_block_density: float
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly scalar summary (no per-block arrays)."""
+        return {
+            "imbalance": float(self.imbalance),
+            "off_block_fraction": float(self.off_block_fraction),
+            "diag_block_density": float(self.diag_block_density),
+            "block_rows_min": int(self.block_rows.min()),
+            "block_rows_max": int(self.block_rows.max()),
+            "block_nnz_min": int(self.block_nnz.min()),
+            "block_nnz_max": int(self.block_nnz.max()),
+        }
+
+
+def compute_stats(A: "CSRMatrix", boundaries: np.ndarray) -> PartitionStats:
+    """Measure partition quality on *A*, assumed already in partition order.
+
+    One vectorized pass over the stored entries: every entry is labelled
+    with its row's block, split into in-block vs external by column range,
+    and the diagonal excluded from the coupling-mass ratio (matching
+    :meth:`repro.sparse.BlockRowView.off_block_fraction`).
+    """
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    n = int(boundaries[-1])
+    block_rows = np.diff(boundaries)
+    block_nnz = (A.indptr[boundaries[1:]] - A.indptr[boundaries[:-1]]).astype(np.int64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), A.row_nnz())
+    entry_block = np.searchsorted(boundaries, rows, side="right") - 1
+    cols = A.indices
+    local = (cols >= boundaries[entry_block]) & (cols < boundaries[entry_block + 1])
+    on_diag = cols == rows
+    absdata = np.abs(A.data)
+    ext_mass = float(absdata[~local].sum())
+    loc_mass = float(absdata[local & ~on_diag].sum())
+    total = ext_mass + loc_mass
+    capacity = float((block_rows.astype(np.float64) ** 2).sum())
+    mean_nnz = float(block_nnz.mean()) if block_nnz.size else 0.0
+    return PartitionStats(
+        block_rows=block_rows,
+        block_nnz=block_nnz,
+        imbalance=float(block_nnz.max()) / mean_nnz if mean_nnz > 0 else 1.0,
+        off_block_fraction=ext_mass / total if total > 0 else 0.0,
+        diag_block_density=float(local.sum()) / capacity if capacity > 0 else 0.0,
+    )
+
+
+@dataclass(eq=False)
+class Partition:
+    """A contiguous row-block decomposition, optionally under a reordering.
+
+    Attributes
+    ----------
+    boundaries:
+        Strictly increasing ``int64`` cut array ``[0, b1, ..., n]`` —
+        block *k* owns rows ``[boundaries[k], boundaries[k+1])`` of the
+        (possibly permuted) system, so the blocks cover ``[0, n)`` exactly
+        once.
+    perm:
+        Optional symmetric row permutation (new index → old index, the
+        convention of :func:`repro.matrices.rcm.permute_symmetric`).
+        ``None`` means natural order.  Consumers holding a permuted system
+        use :meth:`permute_vector` / :meth:`unpermute_vector` to translate
+        between orderings.
+    strategy:
+        Name of the registry strategy that built this partition
+        (``"uniform"``, ``"work_balanced"``, ``"rcm"``, ``"clustered"``,
+        or ``"explicit"`` for raw boundary arrays).
+    spec:
+        The ``strategy[:param]`` string this partition was parsed from,
+        for telemetry round-tripping.
+    stats:
+        Cached :class:`PartitionStats`, filled lazily by
+        :meth:`ensure_stats` (they need a concrete matrix).
+    """
+
+    boundaries: np.ndarray
+    perm: Optional[np.ndarray] = None
+    strategy: str = "explicit"
+    spec: Optional[str] = None
+    stats: Optional[PartitionStats] = None
+    _inv_perm: Optional[np.ndarray] = field(default=None, repr=False)
+    _permuted_source: Any = field(default=None, repr=False)
+    _permuted_matrix: Any = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        b = as_index_array(self.boundaries, "boundaries")
+        if len(b) < 2 or b[0] != 0 or np.any(np.diff(b) <= 0):
+            raise ValueError("boundaries must be strictly increasing from 0 to n")
+        self.boundaries = b
+        n = int(b[-1])
+        if self.perm is not None:
+            p = as_index_array(self.perm, "perm")
+            if len(p) != n or not np.array_equal(np.bincount(p, minlength=n), np.ones(n, dtype=np.int64)):
+                raise ValueError("perm must be a permutation of range(n)")
+            self.perm = p
+        if self.spec is None:
+            self.spec = self.strategy
+
+    @property
+    def n(self) -> int:
+        """Number of rows covered by the partition."""
+        return int(self.boundaries[-1])
+
+    @property
+    def nblocks(self) -> int:
+        """Number of blocks."""
+        return len(self.boundaries) - 1
+
+    def block_sizes(self) -> np.ndarray:
+        """Row counts per block."""
+        return np.diff(self.boundaries)
+
+    @property
+    def inverse_perm(self) -> Optional[np.ndarray]:
+        """Inverse permutation (old index → new index), or ``None``."""
+        if self.perm is None:
+            return None
+        if self._inv_perm is None:
+            inv = np.empty(self.n, dtype=np.int64)
+            inv[self.perm] = np.arange(self.n, dtype=np.int64)
+            self._inv_perm = inv
+        return self._inv_perm
+
+    def permute_matrix(self, A: "CSRMatrix") -> "CSRMatrix":
+        """*A* brought into partition order (cached per source matrix).
+
+        Identity (the same object) when :attr:`perm` is ``None``.
+        """
+        if self.perm is None:
+            return A
+        if self._permuted_source is not A:
+            from ..matrices.rcm import permute_symmetric
+
+            self._permuted_matrix = permute_symmetric(A, self.perm)
+            self._permuted_source = A
+        return self._permuted_matrix
+
+    def permute_vector(self, v: np.ndarray) -> np.ndarray:
+        """Original-order vector → partition-order vector."""
+        return v if self.perm is None else np.asarray(v)[self.perm]
+
+    def unpermute_vector(self, v: np.ndarray) -> np.ndarray:
+        """Partition-order vector → original-order vector."""
+        if self.perm is None:
+            return v
+        out = np.empty_like(np.asarray(v))
+        out[self.perm] = v
+        return out
+
+    def ensure_stats(self, A: "CSRMatrix") -> PartitionStats:
+        """Compute (once) and cache quality stats on *A*.
+
+        *A* must be in **partition order** — pass ``permute_matrix(A)``
+        (or a :class:`~repro.sparse.BlockRowView`'s ``.matrix``) when the
+        partition carries a permutation.
+        """
+        if self.stats is None:
+            self.stats = compute_stats(A, self.boundaries)
+        return self.stats
+
+    def telemetry(self) -> Dict[str, Any]:
+        """JSON-friendly annotation block for :class:`RunRecorder`.
+
+        Always includes strategy/spec/nblocks/permuted; quality stats are
+        merged in when :meth:`ensure_stats` has run.
+        """
+        out: Dict[str, Any] = {
+            "strategy": self.strategy,
+            "spec": self.spec,
+            "nblocks": self.nblocks,
+            "permuted": self.perm is not None,
+        }
+        if self.stats is not None:
+            out.update(self.stats.summary())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = " perm" if self.perm is not None else ""
+        return f"<Partition {self.strategy} n={self.n} nblocks={self.nblocks}{tag}>"

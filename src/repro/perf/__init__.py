@@ -19,7 +19,10 @@ stay in one place, while execution strategies compete behind a dispatch
 seam that is observable only through timing.
 """
 
-from .plan import SweepPlan, compile_sweep_plan, rhs_preserves_fold
+# The canonical backend-name tuple lives with AsyncConfig's validation.
+# repro.core's engine imports this package's *submodules* directly, so
+# `import repro.perf` works standalone in either import order.
+from ..core.schedules import BACKENDS
 from .backends import (
     FusedSweepExecutor,
     ReferenceSweepExecutor,
@@ -27,11 +30,7 @@ from .backends import (
     make_executor,
     resolve_backend,
 )
-
-# The canonical backend-name tuple lives with AsyncConfig's validation;
-# imported last so `import repro.perf` works standalone (repro.core's
-# engine imports this package's submodules in turn).
-from ..core.schedules import BACKENDS
+from .plan import SweepPlan, compile_sweep_plan, rhs_preserves_fold
 
 __all__ = [
     "SweepPlan",

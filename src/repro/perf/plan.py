@@ -62,6 +62,9 @@ class SweepPlan:
     ----------
     view:
         The decomposition this plan compiles.
+    partition:
+        The :class:`repro.partition.Partition` the view was built on — one
+        compilation per partition, shared by every engine on the view.
     ennz:
         Per-block external nonzero counts (freshness-draw sizes).
     ell_plans_built:
@@ -72,6 +75,7 @@ class SweepPlan:
 
     def __init__(self, view: BlockRowView):
         self.view = view
+        self.partition = view.partition
         self.ennz = np.array([blk.external.nnz for blk in view.blocks], dtype=np.int64)
         self._ext_rows: Optional[List[np.ndarray]] = None
         self._scatter_base: Optional[List[np.ndarray]] = None

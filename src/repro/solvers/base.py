@@ -163,6 +163,10 @@ class IterativeSolver(abc.ABC):
     #: Method tag used in results and reports; subclasses override.
     name = "iterative"
 
+    #: A prebuilt block view handed from a partition-aware ``solve``
+    #: override to ``_setup`` (see :meth:`_solve_partitioned`).
+    _pending_view = None
+
     def __init__(
         self,
         stopping: Optional[StoppingCriterion] = None,
@@ -234,6 +238,38 @@ class IterativeSolver(abc.ABC):
         result = self._result_from(outcome, b_norm)
         self._finalize(state, result)
         return result
+
+    def _solve_partitioned(
+        self,
+        view,
+        A: CSRMatrix,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        """Run the standard solve on *view*'s (possibly permuted) system.
+
+        Partition-aware solvers build a :class:`repro.sparse.BlockRowView`
+        up front and route their ``solve`` through here.  When the view
+        carries no row permutation this is exactly :meth:`solve` — same
+        arrays, same flow, bitwise-identical histories.  With a
+        permutation, the iteration runs in **partition order** (the
+        residual history and stopping rule are evaluated on the permuted
+        system, which is the system the blocks actually sweep) and the
+        final iterate is mapped back to original row order before being
+        returned.
+        """
+        self._pending_view = view
+        try:
+            if view.perm is None:
+                return IterativeSolver.solve(self, A, b, x0)
+            n = view.n
+            x0p = None if x0 is None else view.permute_vector(check_vector(x0, n, "x0"))
+            result = IterativeSolver.solve(self, view.matrix, view.permute_vector(b), x0p)
+            result.x = view.unpermute_vector(result.x)
+            result.info["permuted"] = True
+            return result
+        finally:
+            self._pending_view = None
 
     def _finalize(self, state: Any, result: SolveResult) -> None:
         """Hook for subclasses to attach extra info to the result."""

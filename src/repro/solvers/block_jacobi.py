@@ -20,12 +20,14 @@ typically converges a little faster per sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from .._util import check_square, check_vector
+from ..partition import Partition, make_partition
 from ..sparse import BlockRowView, CSRMatrix
-from .base import IterativeSolver, StoppingCriterion
+from .base import IterativeSolver, SolveResult, StoppingCriterion
 
 __all__ = ["BlockJacobiSolver", "local_jacobi_sweeps"]
 
@@ -82,6 +84,13 @@ class BlockJacobiSolver(IterativeSolver):
         the block (two-stage method).
     inner_sweeps:
         Inner iteration count for ``inner="jacobi"``.
+    partition:
+        Row-block decomposition: a ``strategy[:param]`` spec string (see
+        :mod:`repro.partition.strategies`) or a ready-made
+        :class:`repro.partition.Partition`; the default ``"uniform"`` is
+        bitwise the historical *block_size* cuts.  Permuting strategies
+        iterate on the permuted system (histories in partition order) and
+        report the solution in original row order.
     """
 
     name = "block-jacobi"
@@ -92,6 +101,7 @@ class BlockJacobiSolver(IterativeSolver):
         *,
         inner: str = "exact",
         inner_sweeps: int = 5,
+        partition: Union[str, Partition] = "uniform",
         stopping: Optional[StoppingCriterion] = None,
         **loop_options,
     ):
@@ -105,16 +115,38 @@ class BlockJacobiSolver(IterativeSolver):
         self.block_size = block_size
         self.inner = inner
         self.inner_sweeps = inner_sweeps
+        self.partition = partition
         self.name = (
             f"block-jacobi({block_size})"
             if inner == "exact"
             else f"two-stage({block_size},q={inner_sweeps})"
         )
 
+    def solve(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        """Solve ``A x = b`` on the configured partition (see class docs)."""
+        n = check_square(A.shape, f"{self.name} matrix")
+        check_vector(b, n, "b")
+        part = make_partition(A, self.partition, block_size=self.block_size)
+        view = BlockRowView(A, partition=part)
+        return self._solve_partitioned(view, A, b, x0)
+
     def _setup(self, A: CSRMatrix, b: np.ndarray) -> _BJState:
         import scipy.linalg
 
-        view = BlockRowView(A, block_size=self.block_size)
+        view = self._pending_view
+        if view is None or view.matrix is not A:
+            part = make_partition(A, self.partition, block_size=self.block_size)
+            if part.perm is not None:
+                raise ValueError(
+                    "permuting partitions must go through solve(); "
+                    "_setup received the unpermuted matrix"
+                )
+            view = BlockRowView(A, partition=part)
         lu = None
         if self.inner == "exact":
             lu = []

@@ -16,65 +16,39 @@ asynchronous engine's hot loop is nothing but slim vectorized kernels.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from .._util import as_index_array, check_square
+from ..partition.core import Partition
+from ..partition.rows import partition_rows as _partition_rows
+from ..partition.rows import partition_rows_by_work as _partition_rows_by_work
 from .csr import CSRMatrix
 
 __all__ = ["RowBlock", "BlockRowView", "partition_rows", "partition_rows_by_work"]
 
 
 def partition_rows(n: int, block_size: Optional[int] = None, *, nblocks: Optional[int] = None) -> np.ndarray:
-    """Contiguous partition boundaries for *n* rows.
-
-    Exactly one of *block_size* and *nblocks* must be given.  Returns an
-    ``int64`` array ``[0, b1, ..., n]`` of length ``nblocks + 1``.  With
-    *block_size*, the final block holds the remainder (as a CUDA grid
-    would); with *nblocks*, block sizes are balanced to within one row.
-    """
-    if n <= 0:
-        raise ValueError("n must be positive")
-    if (block_size is None) == (nblocks is None):
-        raise ValueError("specify exactly one of block_size / nblocks")
-    if block_size is not None:
-        if block_size <= 0:
-            raise ValueError("block_size must be positive")
-        cuts = np.arange(0, n, block_size, dtype=np.int64)
-        return np.concatenate([cuts, [n]])
-    if nblocks <= 0 or nblocks > n:
-        raise ValueError("nblocks must be in [1, n]")
-    return np.linspace(0, n, nblocks + 1).round().astype(np.int64)
+    """Deprecated alias for :func:`repro.partition.partition_rows`."""
+    warnings.warn(
+        "partition_rows moved to repro.partition; import it from there",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _partition_rows(n, block_size, nblocks=nblocks)
 
 
 def partition_rows_by_work(A: "CSRMatrix", nblocks: int) -> np.ndarray:
-    """Contiguous boundaries balancing *nonzeros* (work) instead of rows.
-
-    A GPU assigns one thread block per row block; when row costs vary
-    (Trefethen's leading rows carry 2 log2(n) entries, the tail far fewer)
-    equal-row blocks make some thread blocks finish much later — the skew
-    behind the §4.1 races.  Equal-work blocks level that out: boundary *k*
-    is placed where the cumulative nnz crosses ``k/nblocks`` of the total.
-    """
-    n = check_square(A.shape, "partition_rows_by_work matrix")
-    if not (1 <= nblocks <= n):
-        raise ValueError("nblocks must be in [1, n]")
-    csum = np.concatenate([[0], np.cumsum(A.row_nnz())]).astype(np.float64)
-    targets = np.linspace(0.0, csum[-1], nblocks + 1)
-    bounds = np.searchsorted(csum, targets, side="left").astype(np.int64)
-    bounds[0], bounds[-1] = 0, n
-    # Strictly increasing: collapse empty blocks onto their neighbours.
-    for k in range(1, nblocks + 1):
-        if bounds[k] <= bounds[k - 1]:
-            bounds[k] = min(bounds[k - 1] + 1, n)
-    bounds[-1] = n
-    if np.any(np.diff(bounds) <= 0):
-        # Degenerate (more blocks than distinct crossings near the end):
-        # fall back to row-balanced boundaries.
-        return partition_rows(n, nblocks=nblocks)
-    return bounds
+    """Deprecated alias for :func:`repro.partition.partition_rows_by_work`."""
+    warnings.warn(
+        "partition_rows_by_work moved to repro.partition; import it from there",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _partition_rows_by_work(A, nblocks)
 
 
 @dataclass
@@ -149,11 +123,17 @@ class BlockRowView:
     Parameters
     ----------
     A:
-        Square :class:`CSRMatrix`.
-    block_size / nblocks / boundaries:
-        Partition specification; *boundaries* (a ``[0, ..., n]`` cut array)
-        wins if given, otherwise the partition is built by
-        :func:`partition_rows`.
+        Square :class:`CSRMatrix`, in the caller's **original** row order.
+    block_size / nblocks / boundaries / partition:
+        Partition specification; a :class:`repro.partition.Partition`
+        wins if given, then *boundaries* (a ``[0, ..., n]`` cut array),
+        otherwise a uniform partition is built from *block_size*/*nblocks*.
+        When the partition carries a row permutation the view permutes the
+        matrix internally: :attr:`matrix` (and every block) lives in
+        partition order, :attr:`original_matrix` keeps the input, and
+        :meth:`permute_vector` / :meth:`unpermute_vector` translate
+        vectors so solutions and histories can be reported in original
+        row order.
 
     Raises
     ------
@@ -169,21 +149,33 @@ class BlockRowView:
         *,
         nblocks: Optional[int] = None,
         boundaries: Optional[Sequence[int]] = None,
+        partition: Optional[Partition] = None,
     ):
         n = check_square(A.shape, "BlockRowView matrix")
-        self.matrix = A
-        if boundaries is not None:
+        if partition is not None:
+            if block_size is not None or nblocks is not None or boundaries is not None:
+                raise ValueError("partition is mutually exclusive with block_size/nblocks/boundaries")
+            if partition.n != n:
+                raise ValueError(f"partition covers {partition.n} rows but the matrix has {n}")
+            self.partition = partition
+        elif boundaries is not None:
             b = as_index_array(boundaries, "boundaries")
             if len(b) < 2 or b[0] != 0 or b[-1] != n or np.any(np.diff(b) <= 0):
                 raise ValueError("boundaries must be strictly increasing from 0 to n")
-            self.boundaries = b
+            self.partition = Partition(boundaries=b, strategy="explicit")
         else:
-            self.boundaries = partition_rows(n, block_size, nblocks=nblocks)
+            self.partition = Partition(
+                boundaries=_partition_rows(n, block_size, nblocks=nblocks), strategy="uniform"
+            )
+        self.original_matrix = A
+        # In partition order; identical object to A when unpermuted.
+        self.matrix = self.partition.permute_matrix(A)
+        self.boundaries = self.partition.boundaries
         self.n = n
         self.blocks: List[RowBlock] = []
         for k in range(len(self.boundaries) - 1):
             start, stop = int(self.boundaries[k]), int(self.boundaries[k + 1])
-            rows = A.row_slice(start, stop)
+            rows = self.matrix.row_slice(start, stop)
             local, external = rows.column_range_split(start, stop)
             diag_full, local_off = local.split_diagonal()
             diag = np.zeros(stop - start)
@@ -272,6 +264,28 @@ class BlockRowView:
     def nblocks(self) -> int:
         """Number of blocks in the partition."""
         return len(self.blocks)
+
+    @property
+    def perm(self) -> Optional[np.ndarray]:
+        """Row permutation (new → old) in effect, or ``None``."""
+        return self.partition.perm
+
+    def permute_vector(self, v: np.ndarray) -> np.ndarray:
+        """Original-order vector → partition-order vector (identity if unpermuted)."""
+        return self.partition.permute_vector(v)
+
+    def unpermute_vector(self, v: np.ndarray) -> np.ndarray:
+        """Partition-order vector → original-order vector (identity if unpermuted)."""
+        return self.partition.unpermute_vector(v)
+
+    def partition_stats(self):
+        """Quality stats of the partition on this matrix (cached on the partition)."""
+        return self.partition.ensure_stats(self.matrix)
+
+    def partition_telemetry(self) -> dict:
+        """The partition's :class:`RunRecorder` annotation block, stats included."""
+        self.partition.ensure_stats(self.matrix)
+        return self.partition.telemetry()
 
     def block_sizes(self) -> np.ndarray:
         """Row counts per block."""

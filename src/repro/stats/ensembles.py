@@ -28,6 +28,7 @@ import numpy as np
 from ..core.block_async import BlockAsyncSolver
 from ..core.engine import BatchedAsyncEngine
 from ..core.schedules import AsyncConfig
+from ..partition import make_partition
 from ..runtime.recorder import RunRecorder
 from ..solvers.base import SolveResult, StoppingCriterion
 from ..sparse import BlockRowView, CSRMatrix
@@ -79,13 +80,19 @@ def _batched_histories(
     early-exit rules (exact zero → converged, non-finite/huge → diverged).
     The loop itself is :meth:`repro.runtime.RunLoop.run_batched`, driven
     through :meth:`repro.core.BatchedAsyncEngine.run`.
+
+    ``config.partition`` selects the decomposition; permuting strategies
+    advance the permuted system (histories in partition order, scaled by
+    the permuted right-hand side's norm), matching the sequential path.
     """
-    view = BlockRowView(A, block_size=config.block_size)
-    engine = BatchedAsyncEngine(view, b, config, nruns, seed0=seed0)
+    part = make_partition(A, config.partition, block_size=config.block_size)
+    view = BlockRowView(A, partition=part)
+    bp = view.permute_vector(b)
+    engine = BatchedAsyncEngine(view, bp, config, nruns, seed0=seed0)
     outcome = engine.run(
         stopping=StoppingCriterion(tol=0.0, maxiter=iterations), recorder=recorder
     )
-    b_norm = float(np.linalg.norm(b))
+    b_norm = float(np.linalg.norm(bp))
     out = []
     for h in outcome.histories:
         if relative and b_norm > 0:

@@ -1,0 +1,245 @@
+"""Tests for the Partition object, its stats, and the strategy registry."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    Partition,
+    available_strategies,
+    compute_stats,
+    make_partition,
+    parse_partition_spec,
+    partition_rows,
+    partition_rows_by_work,
+    register_strategy,
+)
+from repro.sparse import BlockRowView
+
+#: One spec per registered strategy, exercised across the property tests.
+ALL_SPECS = ("uniform:32", "work_balanced:8", "rcm:32", "clustered:32")
+
+
+# --------------------------------------------------------------------- #
+# Partition object
+# --------------------------------------------------------------------- #
+
+
+def test_partition_validates_boundaries():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Partition(boundaries=np.array([0, 5, 5, 10]))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Partition(boundaries=np.array([1, 5, 10]))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Partition(boundaries=np.array([0]))
+
+
+def test_partition_validates_perm():
+    b = np.array([0, 5, 10])
+    with pytest.raises(ValueError, match="permutation"):
+        Partition(boundaries=b, perm=np.array([0] * 10))
+    with pytest.raises(ValueError, match="permutation"):
+        Partition(boundaries=b, perm=np.arange(9))
+    # A valid permutation passes.
+    Partition(boundaries=b, perm=np.arange(10)[::-1].copy())
+
+
+def test_partition_basic_properties():
+    p = Partition(boundaries=np.array([0, 3, 7, 10]), strategy="explicit")
+    assert p.n == 10
+    assert p.nblocks == 3
+    assert p.block_sizes().tolist() == [3, 4, 3]
+    assert p.spec == "explicit"
+    assert p.perm is None and p.inverse_perm is None
+
+
+def test_permute_unpermute_roundtrip(rng):
+    n = 40
+    perm = rng.permutation(n)
+    p = Partition(boundaries=np.array([0, 13, n]), perm=perm)
+    v = rng.standard_normal(n)
+    vp = p.permute_vector(v)
+    assert np.array_equal(vp, v[perm])
+    assert np.array_equal(p.unpermute_vector(vp), v)
+    # inverse_perm really is the inverse map.
+    assert np.array_equal(p.inverse_perm[perm], np.arange(n))
+
+
+def test_permute_matrix_identity_and_cache(small_spd):
+    uniform = Partition(boundaries=partition_rows(small_spd.shape[0], 16))
+    assert uniform.permute_matrix(small_spd) is small_spd
+
+    perm = np.arange(small_spd.shape[0])[::-1].copy()
+    p = Partition(boundaries=uniform.boundaries, perm=perm)
+    B = p.permute_matrix(small_spd)
+    assert B is not small_spd
+    # Cached: same source object returns the same permuted object.
+    assert p.permute_matrix(small_spd) is B
+    assert np.allclose(B.to_dense(), small_spd.to_dense()[np.ix_(perm, perm)])
+
+
+def test_stats_match_blockrowview(small_spd):
+    bounds = partition_rows(small_spd.shape[0], 16)
+    stats = compute_stats(small_spd, bounds)
+    view = BlockRowView(small_spd, boundaries=bounds)
+    assert stats.off_block_fraction == view.off_block_fraction()
+    per_block = [
+        blk.local_off.nnz + blk.external.nnz + blk.nrows for blk in view.blocks
+    ]
+    assert stats.block_nnz.tolist() == per_block
+    assert int(stats.block_nnz.sum()) == small_spd.nnz
+    assert stats.block_rows.tolist() == [blk.nrows for blk in view.blocks]
+    assert stats.imbalance == max(per_block) / np.mean(per_block)
+    assert 0.0 < stats.diag_block_density <= 1.0
+
+
+def test_telemetry_grows_with_stats(small_spd):
+    p = make_partition(small_spd, "uniform:16")
+    t = p.telemetry()
+    assert t["strategy"] == "uniform"
+    assert t["spec"] == "uniform:16"
+    assert t["nblocks"] == p.nblocks
+    assert t["permuted"] is False
+    assert "imbalance" not in t  # stats not computed yet
+    p.ensure_stats(small_spd)
+    t = p.telemetry()
+    for key in ("imbalance", "off_block_fraction", "diag_block_density",
+                "block_rows_min", "block_nnz_max"):
+        assert key in t
+
+
+# --------------------------------------------------------------------- #
+# Strategy registry
+# --------------------------------------------------------------------- #
+
+
+def test_registry_lists_the_four_builtin_strategies():
+    names = available_strategies()
+    for name in ("uniform", "work_balanced", "rcm", "clustered"):
+        assert name in names
+
+
+def test_parse_partition_spec():
+    assert parse_partition_spec("uniform") == ("uniform", None)
+    assert parse_partition_spec("work_balanced:16") == ("work_balanced", 16)
+    with pytest.raises(ValueError, match="unknown partition strategy"):
+        parse_partition_spec("zigzag")
+    with pytest.raises(ValueError, match="must be an integer"):
+        parse_partition_spec("uniform:abc")
+    with pytest.raises(ValueError, match="must be positive"):
+        parse_partition_spec("uniform:0")
+    with pytest.raises(ValueError, match="must be positive"):
+        parse_partition_spec("uniform:-4")
+    with pytest.raises(ValueError, match="must be a string"):
+        parse_partition_spec(42)
+
+
+def test_make_partition_uniform_matches_partition_rows(trefethen_small):
+    n = trefethen_small.shape[0]
+    p = make_partition(trefethen_small, "uniform", block_size=64)
+    assert np.array_equal(p.boundaries, partition_rows(n, 64))
+    assert p.perm is None and p.strategy == "uniform"
+    # An explicit param overrides the fallback block size.
+    p = make_partition(trefethen_small, "uniform:25", block_size=64)
+    assert np.array_equal(p.boundaries, partition_rows(n, 25))
+
+
+def test_make_partition_work_balanced_matches_by_work(trefethen_small):
+    p = make_partition(trefethen_small, "work_balanced:8")
+    assert np.array_equal(p.boundaries, partition_rows_by_work(trefethen_small, 8))
+    assert p.perm is None
+    # No param: same block count as the uniform grid at the fallback size.
+    p = make_partition(trefethen_small, "work_balanced", block_size=64)
+    grid = partition_rows(trefethen_small.shape[0], 64)
+    assert p.nblocks == len(grid) - 1
+
+
+def test_make_partition_rcm_and_clustered_reuse_matrix_analyses(trefethen_small):
+    from repro.matrices.clustering import cluster_reorder
+    from repro.matrices.rcm import reverse_cuthill_mckee
+
+    p = make_partition(trefethen_small, "rcm:64")
+    assert np.array_equal(p.perm, reverse_cuthill_mckee(trefethen_small))
+    assert np.array_equal(p.boundaries, partition_rows(trefethen_small.shape[0], 64))
+
+    p = make_partition(trefethen_small, "clustered:64")
+    assert np.array_equal(p.perm, cluster_reorder(trefethen_small, 64))
+
+
+def test_make_partition_passthrough_and_shape_check(small_spd, trefethen_small):
+    p = make_partition(small_spd, "uniform:16")
+    assert make_partition(small_spd, p) is p
+    with pytest.raises(ValueError, match="covers 60 rows"):
+        make_partition(trefethen_small, p)
+
+
+def test_register_strategy_extends_the_registry(small_spd):
+    from repro.partition import strategies as mod
+
+    @register_strategy("every_row")
+    def _every_row(A, n, param, block_size):
+        return np.arange(n + 1, dtype=np.int64), None
+
+    try:
+        p = make_partition(small_spd, "every_row")
+        assert p.nblocks == small_spd.shape[0]
+    finally:
+        del mod._REGISTRY["every_row"]
+    with pytest.raises(ValueError, match="unknown partition strategy"):
+        parse_partition_spec("every_row")
+
+
+# --------------------------------------------------------------------- #
+# Coverage property: every strategy covers [0, n) exactly once
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS)
+def test_every_strategy_covers_all_rows_exactly_once(trefethen_small, spec):
+    n = trefethen_small.shape[0]
+    p = make_partition(trefethen_small, spec)
+    assert p.boundaries[0] == 0 and p.boundaries[-1] == n
+    assert np.all(np.diff(p.boundaries) > 0)
+    # Collect the original-order rows each block owns; together the blocks
+    # must own every row exactly once.
+    owned = []
+    ident = np.arange(n)
+    for k in range(p.nblocks):
+        sl = slice(int(p.boundaries[k]), int(p.boundaries[k + 1]))
+        owned.append((ident if p.perm is None else p.perm)[sl])
+    assert np.array_equal(np.sort(np.concatenate(owned)), ident)
+
+
+# --------------------------------------------------------------------- #
+# BlockRowView integration
+# --------------------------------------------------------------------- #
+
+
+def test_view_partition_kwarg_is_exclusive(small_spd):
+    p = make_partition(small_spd, "uniform:16")
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        BlockRowView(small_spd, block_size=16, partition=p)
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        BlockRowView(small_spd, boundaries=p.boundaries, partition=p)
+
+
+def test_view_from_partition_matches_block_size_view(small_spd):
+    classic = BlockRowView(small_spd, block_size=16)
+    via_part = BlockRowView(small_spd, partition=make_partition(small_spd, "uniform:16"))
+    assert np.array_equal(classic.boundaries, via_part.boundaries)
+    assert classic.matrix is small_spd and via_part.matrix is small_spd
+    assert classic.partition.strategy == "uniform"
+
+
+def test_permuted_view_permutes_matrix_and_vectors(trefethen_small):
+    A = trefethen_small
+    part = make_partition(A, "rcm:64")
+    view = BlockRowView(A, partition=part)
+    assert view.original_matrix is A
+    assert view.matrix is not A
+    assert np.array_equal(view.perm, part.perm)
+    v = np.arange(A.shape[0], dtype=float)
+    assert np.array_equal(view.unpermute_vector(view.permute_vector(v)), v)
+    # Telemetry fills stats on the permuted matrix.
+    t = view.partition_telemetry()
+    assert t["strategy"] == "rcm" and t["permuted"] is True
+    assert 0.0 <= t["off_block_fraction"] <= 1.0
