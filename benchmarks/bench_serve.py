@@ -1,0 +1,262 @@
+"""Throughput and correctness of the serving layer (:mod:`repro.serve`).
+
+The service's pitch is that a stream of independent solve requests on a
+shared matrix should not pay 64 compilations and 64 scalar sweep streams.
+Three claims keep it honest:
+
+* **batching pays** — a 64-request same-matrix workload (random rhs and a
+  distinct schedule seed per request) through :class:`repro.serve.SolveService`
+  must beat the naive loop of per-request
+  :meth:`repro.core.BlockAsyncSolver.solve` calls by the throughput gate
+  below (requests/sec, same stopping rule, p99 latency reported);
+* **batching is exact** — every service response must be *bitwise* the
+  corresponding naive solve (same final iterate, same residual history):
+  the speedup buys nothing away;
+* **telemetry stays strict** — after a workload that includes a diverged
+  request (a ρ(B) > 1 system driven to residual overflow), the service
+  telemetry export must parse under ``json.loads`` with every non-standard
+  ``Infinity``/``NaN`` token rejected.
+
+The workload arrives in waves so the plan cache's hit rate is visible
+(wave 1 compiles, waves 2..W hit).  Artifacts:
+``benchmarks/artifacts/BENCH_serve.txt`` and ``BENCH_serve.json``.  Runs
+standalone (``python benchmarks/bench_serve.py``) or under pytest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AsyncConfig, BlockAsyncSolver
+from repro.matrices import default_rhs, get_matrix
+from repro.runtime import StoppingCriterion
+from repro.serve import SolveRequest, SolveService
+from repro.sparse import CSRMatrix
+
+#: Total same-matrix requests in the throughput workload.
+REQUESTS = 64
+
+#: Waves the workload arrives in (wave 1 compiles the plan, the rest hit
+#: the cache); also the admission batch size.
+WAVES = 4
+
+#: Shared request configuration (the paper's async-(5) on fv1).
+CONFIG = AsyncConfig(local_iterations=5, block_size=128, order="gpu")
+
+#: Shared stopping rule (modest tolerance: throughput, not accuracy, is
+#: under test — and both paths use exactly the same budget).
+STOPPING = StoppingCriterion(tol=1e-6, maxiter=200)
+
+#: Hard gate: service requests/sec over naive per-request requests/sec.
+MIN_SPEEDUP = 2.0
+
+
+def _workload():
+    A = get_matrix("fv1")
+    rhs = [default_rhs(A, kind="random", seed=seed) for seed in range(REQUESTS)]
+    return A, rhs
+
+
+def _naive_row(A, rhs) -> tuple:
+    """The baseline: one BlockAsyncSolver.solve per request, in a loop."""
+    results = []
+    t0 = time.perf_counter()
+    for seed, b in enumerate(rhs):
+        solver = BlockAsyncSolver(
+            dataclasses.replace(CONFIG, seed=seed), stopping=STOPPING
+        )
+        results.append(solver.solve(A, b))
+    elapsed = time.perf_counter() - t0
+    row = {
+        "claim": "naive-baseline",
+        "matrix": "fv1",
+        "requests": REQUESTS,
+        "seconds": elapsed,
+        "requests_per_sec": REQUESTS / elapsed,
+        "converged": sum(r.converged for r in results),
+    }
+    return row, results
+
+
+def _service_row(A, rhs) -> tuple:
+    """The same workload through the service, in WAVES admission waves."""
+    per_wave = REQUESTS // WAVES
+    service = SolveService(
+        config=CONFIG, stopping=STOPPING, max_batch=per_wave, max_queue=REQUESTS
+    )
+    responses = {}
+    t0 = time.perf_counter()
+    for wave in range(WAVES):
+        for i in range(wave * per_wave, (wave + 1) * per_wave):
+            service.submit(
+                SolveRequest(A=A, b=rhs[i], request_id=f"r{i}", seed=i)
+            )
+        for response in service.drain():
+            responses[response.request_id] = response
+    elapsed = time.perf_counter() - t0
+    stats = service.stats()
+    row = {
+        "claim": "service-throughput",
+        "matrix": "fv1",
+        "requests": REQUESTS,
+        "waves": WAVES,
+        "batch_size": per_wave,
+        "seconds": elapsed,
+        "requests_per_sec": REQUESTS / elapsed,
+        "p99_latency_s": stats["latency_seconds"]["p99"],
+        "p50_latency_s": stats["latency_seconds"]["p50"],
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "batch_occupancy": stats["batches"]["occupancy"],
+        "completed": stats["requests"]["completed"],
+    }
+    return row, [responses[f"r{i}"] for i in range(REQUESTS)]
+
+
+def _exactness_row(results, responses) -> dict:
+    """Service responses must be bitwise the naive per-request solves."""
+    mismatches = 0
+    for ref, response in zip(results, responses):
+        got = response.result
+        if not (
+            np.array_equal(ref.x, got.x)
+            and np.array_equal(ref.residuals, got.residuals)
+            and ref.converged == got.converged
+        ):
+            mismatches += 1
+    return {
+        "claim": "batching-exactness",
+        "requests": len(results),
+        "bitwise_mismatches": mismatches,
+    }
+
+
+def _strict_json_row() -> dict:
+    """Telemetry must strict-parse after a diverged (overflowing) request."""
+    A = CSRMatrix.from_dense(np.array([[1.0, 8.0], [8.0, 1.0]]))
+    service = SolveService(
+        config=CONFIG,
+        stopping=StoppingCriterion(
+            tol=1e-10, maxiter=400, divergence_limit=float("inf")
+        ),
+    )
+    with np.errstate(over="ignore"):
+        response = service.solve(A, np.ones(2))
+    diverged = bool(response.completed and response.result.info["diverged"])
+
+    def _reject(token):
+        raise ValueError(f"non-standard JSON token {token!r}")
+
+    try:
+        doc = json.loads(service.telemetry_json(), parse_constant=_reject)
+        parses = doc["schema"] == "repro.serve/v1"
+        nonfinite = any(
+            run["residuals"]["finite"] is False for run in doc["telemetry"]["runs"]
+        )
+    except ValueError:
+        parses = nonfinite = False
+    return {
+        "claim": "strict-telemetry-json",
+        "request_diverged": diverged,
+        "nonfinite_residuals_recorded": nonfinite,
+        "strict_parse_ok": parses,
+    }
+
+
+def run_benchmark() -> list:
+    A, rhs = _workload()
+    naive, results = _naive_row(A, rhs)
+    service, responses = _service_row(A, rhs)
+    exact = _exactness_row(results, responses)
+    speedup = {
+        "claim": "service-speedup",
+        "speedup": service["requests_per_sec"] / naive["requests_per_sec"],
+        "gate": MIN_SPEEDUP,
+    }
+    return [naive, service, exact, speedup, _strict_json_row()]
+
+
+def render(rows: list) -> str:
+    naive, service, exact, speedup, strict = rows
+    return "\n".join(
+        [
+            "Serving layer — batched throughput vs naive per-request solves",
+            "",
+            f"fv1, {REQUESTS} requests (random rhs + distinct seed each), "
+            f"async-(5), tol {STOPPING.tol:g}:",
+            f"  naive loop    {naive['seconds']:7.2f} s   "
+            f"{naive['requests_per_sec']:6.2f} req/s",
+            f"  service       {service['seconds']:7.2f} s   "
+            f"{service['requests_per_sec']:6.2f} req/s   "
+            f"(waves of {service['batch_size']}, p99 latency "
+            f"{service['p99_latency_s']:.2f} s)",
+            f"  speedup {speedup['speedup']:.2f}x  (gate >= {speedup['gate']:.1f}x)",
+            f"  cache hit rate {service['cache_hit_rate']:.2f}"
+            f"  batch occupancy {service['batch_occupancy']:.2f}",
+            f"  bitwise mismatches vs naive: {exact['bitwise_mismatches']}"
+            f" of {exact['requests']}",
+            "",
+            "diverged-request telemetry:",
+            f"  request diverged {strict['request_diverged']}"
+            f"  non-finite residuals recorded {strict['nonfinite_residuals_recorded']}"
+            f"  strict JSON parse {strict['strict_parse_ok']}",
+        ]
+    )
+
+
+def _write_artifacts(text: str, rows: list) -> Path:
+    outdir = Path(__file__).parent / "artifacts"
+    outdir.mkdir(exist_ok=True)
+    path = outdir / "BENCH_serve.txt"
+    path.write_text(text + "\n")
+    (outdir / "BENCH_serve.json").write_text(json.dumps(rows, indent=2) + "\n")
+    return path
+
+
+def _check(rows: list) -> None:
+    naive, service, exact, speedup, strict = rows
+    assert naive["converged"] == REQUESTS, "naive baseline failed to converge"
+    assert service["completed"] == REQUESTS, "service dropped requests"
+    assert exact["bitwise_mismatches"] == 0, (
+        f"{exact['bitwise_mismatches']} service responses differ from the "
+        "naive per-request solves:\n" + render(rows)
+    )
+    assert speedup["speedup"] >= MIN_SPEEDUP, (
+        f"service is only {speedup['speedup']:.2f}x the naive loop "
+        f"(gate {MIN_SPEEDUP:.1f}x):\n" + render(rows)
+    )
+    # Waves 2..W hit the cache for both the 3 repeat lookups.
+    assert service["cache_hit_rate"] >= (WAVES - 1) / WAVES - 1e-9, (
+        f"cache hit rate {service['cache_hit_rate']:.2f} below "
+        f"{(WAVES - 1) / WAVES:.2f}:\n" + render(rows)
+    )
+    assert strict["request_diverged"], "divergence probe failed to diverge"
+    assert strict["nonfinite_residuals_recorded"], (
+        "diverged run recorded no non-finite residuals (probe too tame)"
+    )
+    assert strict["strict_parse_ok"], (
+        "service telemetry failed strict JSON parsing:\n" + render(rows)
+    )
+
+
+def test_serve_benchmark():
+    rows = run_benchmark()
+    _write_artifacts(render(rows), rows)
+    _check(rows)
+
+
+if __name__ == "__main__":
+    rows = run_benchmark()
+    text = render(rows)
+    print(text)
+    print(f"\nwrote {_write_artifacts(text, rows)}")
+    try:
+        _check(rows)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        raise SystemExit(1)
+    raise SystemExit(0)

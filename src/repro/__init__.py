@@ -30,6 +30,9 @@ Package map
   asynchronous engine, ``async-(k)``, fault scenarios, convergence theory.
 * :mod:`repro.gpu`         — the simulated GPU substrate: devices,
   streams/event simulation, calibrated timing, multi-GPU strategies.
+* :mod:`repro.serve`       — solver-as-a-service: plan caching, admission
+  batching of same-system requests, bounded priority queueing, service
+  telemetry rollups (the ``repro serve`` CLI front-end).
 * :mod:`repro.stats`       — run-ensemble statistics (§4.1).
 * :mod:`repro.extensions`  — §5 outlook, built: multigrid smoothing and
   async-preconditioned CG.
@@ -40,6 +43,7 @@ Package map
 from .core import AsyncConfig, BlockAsyncSolver, FaultScenario
 from .matrices import PAPER_TABLE1, SUITE_NAMES, characterize, default_rhs, get_matrix
 from .partition import Partition, make_partition
+from .serve import SolveRequest, SolveResponse, SolveService
 from .solvers import (
     ConjugateGradientSolver,
     GaussSeidelSolver,
@@ -66,7 +70,10 @@ __all__ = [
     "GaussSeidelSolver",
     "JacobiSolver",
     "SORSolver",
+    "SolveRequest",
+    "SolveResponse",
     "SolveResult",
+    "SolveService",
     "StoppingCriterion",
     "estimate_tau",
     "BlockRowView",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the workflows a user of the reproduction needs:
+Five commands cover the workflows a user of the reproduction needs:
 
 * ``repro suite``                      — list the test systems and their
   published Table 1 data.
@@ -8,6 +8,10 @@ Four commands cover the workflows a user of the reproduction needs:
   ``.mtx`` file: drop in the real UFMC matrices).
 * ``repro solve <matrix> [options]``   — run any solver on a suite system
   or MatrixMarket file and print the convergence history.
+* ``repro serve [jobs.jsonl]``         — drive the in-process solve
+  service (:mod:`repro.serve`) from a JSON-lines job stream (a file, or
+  stdin with ``-``): plan caching, admission batching, per-request JSON
+  responses and a service telemetry rollup.
 * ``repro experiment <id>``            — regenerate a paper artifact
   (``repro experiment list`` shows the registry).
 """
@@ -173,6 +177,53 @@ def _cmd_solve(args) -> int:
     return 0 if result.converged else 1
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from .core.schedules import AsyncConfig
+    from .runtime import StoppingCriterion
+    from .serve import JobStreamError, SolveService, run_job_stream
+
+    try:
+        config = AsyncConfig(
+            local_iterations=args.local_iterations,
+            block_size=args.block_size,
+            omega=args.omega,
+            backend=args.backend,
+            partition=args.partition,
+            residual_every=args.residual_every,
+        )
+        service = SolveService(
+            config=config,
+            stopping=StoppingCriterion(tol=args.tol, maxiter=args.maxiter),
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            cache_capacity=args.cache_capacity,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def emit(response) -> None:
+        print(json.dumps(response.to_dict()), flush=True)
+
+    try:
+        if args.jobs == "-":
+            responses = run_job_stream(sys.stdin, service, emit=emit)
+        else:
+            with open(args.jobs) as fh:
+                responses = run_job_stream(fh, service, emit=emit)
+    except (JobStreamError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.telemetry_json:
+        service.dump_telemetry(args.telemetry_json)
+    if args.stats:
+        print(json.dumps({"service": service.stats()}, indent=2))
+    ok = bool(responses) and all(r.completed for r in responses)
+    return 0 if ok else 1
+
+
 def _cmd_experiment(args) -> int:
     from .experiments import EXPERIMENTS, run_experiment
     from .experiments.registry import supports_batched
@@ -285,6 +336,53 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--history", action="store_true", help="print the residual history")
     ps.add_argument("--json", action="store_true", help="emit a JSON summary")
     ps.set_defaults(func=_cmd_solve)
+
+    pv = sub.add_parser(
+        "serve",
+        help="drive the solve service from a JSON-lines job stream",
+        description="Run the in-process solver service (repro.serve) over a "
+        "JSON-lines job stream: one JSON object per line, e.g. "
+        '{"matrix": "fv1", "rhs": "random", "seed": 3}. Responses are '
+        "emitted as JSON lines on stdout. See repro.serve.stream for the "
+        "full set of job keys.",
+    )
+    pv.add_argument(
+        "jobs",
+        nargs="?",
+        default="-",
+        help="job-stream file, or '-' for stdin (default)",
+    )
+    pv.add_argument("--max-batch", type=int, default=32, help="requests per batched solve")
+    pv.add_argument("--max-queue", type=int, default=256, help="job-queue bound")
+    pv.add_argument("--cache-capacity", type=int, default=16, help="compiled-plan cache entries")
+    pv.add_argument("--local-iterations", type=int, default=5, help="default k in async-(k)")
+    pv.add_argument("--block-size", type=int, default=448)
+    pv.add_argument("--omega", type=float, default=1.0, help="default relaxation weight")
+    pv.add_argument("--tol", type=float, default=1e-10, help="default stopping tolerance")
+    pv.add_argument("--maxiter", type=int, default=1000, help="default sweep budget")
+    pv.add_argument(
+        "--backend", choices=("auto", "fused", "reference"), default="auto"
+    )
+    pv.add_argument(
+        "--partition",
+        metavar="STRATEGY[:PARAM]",
+        default="uniform",
+        help="default decomposition spec (non-permuting strategies only: "
+        "uniform[:block_size], work_balanced[:nblocks])",
+    )
+    pv.add_argument("--residual-every", type=int, default=1, metavar="M")
+    pv.add_argument(
+        "--telemetry-json",
+        metavar="PATH",
+        default=None,
+        help="write the service telemetry rollup (repro.serve/v1: latency "
+        "percentiles, batch occupancy, cache hit rate, every recorded run) "
+        "as strict JSON to PATH",
+    )
+    pv.add_argument(
+        "--stats", action="store_true", help="print the service stats rollup at the end"
+    )
+    pv.set_defaults(func=_cmd_serve)
 
     pe = sub.add_parser("experiment", help="regenerate a paper artifact")
     pe.add_argument("id", help="artifact id (T1..F11, X1..X5, A1..A5), 'list', or 'all'")

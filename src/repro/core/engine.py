@@ -299,14 +299,24 @@ class BatchedAsyncEngine:
         Precomputed block decomposition, shared by all replicas (the whole
         point: it is built once, not R times).
     b:
-        Right-hand side, shared by all replicas.
+        Right-hand side: a length-n vector shared by all replicas (the
+        ensemble case), or an ``(R, n)`` stack giving each replica its own
+        right-hand side — the multi-rhs batching the serving layer
+        (:mod:`repro.serve`) uses to run R independent requests on one
+        matrix as one batched solve.  Replica *r* of a multi-rhs run is
+        bitwise the sequential engine solving ``(A, b[r])`` with replica
+        *r*'s seed.
     config:
         Asynchronism configuration.  ``config.seed`` is ignored — replica
-        *r* runs with seed ``seed0 + r``.
+        *r* runs with seed ``seed0 + r`` (or ``seeds[r]``).
     nreplicas:
         Ensemble size R.
     seed0:
         First replica seed.
+    seeds:
+        Optional explicit per-replica seeds (length R), overriding the
+        ``seed0 + r`` default — used when the replicas are independent
+        requests each carrying its own seed.
 
     Attributes
     ----------
@@ -331,13 +341,34 @@ class BatchedAsyncEngine:
         nreplicas: int,
         *,
         seed0: int = 0,
+        seeds: Optional[List[int]] = None,
     ):
         self.view = view
-        self.b = check_vector(b, view.n, "b")
-        self.config = config
         self.nreplicas = int(nreplicas)
+        b_arr = np.asarray(b, dtype=np.float64)
+        self.multi_rhs = b_arr.ndim == 2
+        if self.multi_rhs:
+            if b_arr.shape != (self.nreplicas, view.n):
+                raise ValueError(
+                    f"multi-rhs b must have shape ({self.nreplicas}, {view.n}), "
+                    f"got {b_arr.shape}"
+                )
+            self.B: Optional[np.ndarray] = np.ascontiguousarray(b_arr)
+            self.b = self.B
+        else:
+            self.B = None
+            self.b = check_vector(b, view.n, "b")
+        self.config = config
         self.seed0 = int(seed0)
-        self.rngs = replica_rngs(self.seed0, self.nreplicas)
+        if seeds is not None:
+            if len(seeds) != self.nreplicas:
+                raise ValueError(
+                    f"seeds must list one seed per replica "
+                    f"({self.nreplicas}), got {len(seeds)}"
+                )
+            self.rngs = [as_rng(s) for s in seeds]
+        else:
+            self.rngs = replica_rngs(self.seed0, self.nreplicas)
         # Scheduler construction consumes RNG ("gpu" pattern pools) exactly
         # as the sequential engine's __init__ does.
         self.schedulers = [
@@ -349,7 +380,16 @@ class BatchedAsyncEngine:
         # built on this view — index structures are compiled once per
         # decomposition, not per engine (repro.perf).
         self.plan = compile_sweep_plan(view)
-        self._b_blocks = [self.b[blk.rows] for blk in view.blocks]
+        # Per-block rhs slices: (block_rows,) shared across replicas, or
+        # (R, block_rows) when each replica owns its right-hand side.
+        if self.multi_rhs:
+            self._b_blocks = [
+                np.ascontiguousarray(self.B[:, blk.rows]) for blk in view.blocks
+            ]
+            self._Bflat = self.B.reshape(-1)
+        else:
+            self._b_blocks = [self.b[blk.rows] for blk in view.blocks]
+            self._Bflat = None
         self._ext_rows = self.plan.ext_rows
         self._local_c = self.plan.local_c
         self._E = view.external_matrix()
@@ -546,7 +586,7 @@ class BatchedAsyncEngine:
             # multi-vector two-stage update with no position loop at all
             # (deferred writes land by sweep end on disjoint rows — the
             # final state is identical).
-            s_all = self.b - EXT
+            s_all = (self.B[reps] if self.multi_rhs else self.b) - EXT
             Z = local_jacobi_sweeps(
                 view.local_offdiag_matrix(),
                 view.diagonal_vector(),
@@ -624,7 +664,9 @@ class BatchedAsyncEngine:
                                 )
                             else:
                                 np.add.at(ext, (mi, self._ext_rows[bid][ei]), delta)
-                s = self._b_blocks[bid] - ext
+                s = (
+                    self._b_blocks[bid][rows_g] if self.multi_rhs else self._b_blocks[bid]
+                ) - ext
                 z = local_jacobi_sweeps(
                     self._local_c[bid],
                     blk.diag,
@@ -711,7 +753,12 @@ class BatchedAsyncEngine:
                     ext = scatter_add_fold(ext, epos, delta)
                 else:
                     np.add.at(ext, epos, delta)
-        s = np.concatenate([self._b_blocks[b] for b in bids])
+        if self.multi_rhs:
+            # Same flat gather as the iterate: each pair's section takes
+            # its own replica's rhs rows.
+            s = self._Bflat[flat]
+        else:
+            s = np.concatenate([self._b_blocks[b] for b in bids])
         np.subtract(s, ext, out=s)
         d = np.concatenate([self._diag_blocks[b] for b in bids])
 
@@ -761,6 +808,7 @@ class BatchedAsyncEngine:
         stopping: StoppingCriterion,
         residual_every: int = 1,
         recorder: Optional[RunRecorder] = None,
+        meta: Optional[dict] = None,
     ) -> BatchedRunOutcome:
         """Drive all R replicas from ``x0 = 0`` through the shared run loop.
 
@@ -771,20 +819,38 @@ class BatchedAsyncEngine:
         residual passes the threshold (or diverges) freeze, exactly like a
         sequential early exit.  Histories are **absolute** residual norms;
         callers scale.
+
+        With a multi-rhs engine each replica is stopped against its own
+        ``||b_r||``-relative threshold, exactly as a sequential
+        per-request run would be.  *meta* is forwarded to the telemetry
+        run's metadata.
         """
         A = self.view.matrix
         n = self.view.n
         R = self.nreplicas
         X = np.zeros((R, n))
-        # x0 = 0 for every replica, so the initial residual is shared.
-        r0 = float(np.linalg.norm(A.residual(np.zeros(n), self.b)))
         res_row = np.empty(n)
+
+        def rhs_row(r: int) -> np.ndarray:
+            return self.B[r] if self.multi_rhs else self.b
+
+        # x0 = 0 for every replica: the initial residual is shared for a
+        # shared rhs and per-replica otherwise.
+        if self.multi_rhs:
+            zero = np.zeros(n)
+            r0 = np.array(
+                [float(np.linalg.norm(A.residual(zero, self.B[r]))) for r in range(R)]
+            )
+            b_norm = np.array([float(np.linalg.norm(self.B[r])) for r in range(R)])
+        else:
+            r0 = np.full(R, float(np.linalg.norm(A.residual(np.zeros(n), self.b))))
+            b_norm = float(np.linalg.norm(self.b))
 
         def residual_norms(reps: np.ndarray) -> np.ndarray:
             out = np.empty(len(reps))
             for i, r in enumerate(reps):
                 A.matvec(X[r], out=res_row)
-                np.subtract(self.b, res_row, out=res_row)
+                np.subtract(rhs_row(r), res_row, out=res_row)
                 out[i] = float(np.linalg.norm(res_row))
             return out
 
@@ -793,9 +859,10 @@ class BatchedAsyncEngine:
             X,
             lambda reps: self.sweep(X, reps),
             residual_norms,
-            b_norm=float(np.linalg.norm(self.b)),
+            b_norm=b_norm,
             method=f"batched-{self.config.method_name}",
-            r0=np.full(R, r0),
+            r0=r0,
+            meta=meta,
         )
         if recorder is not None:
             recorder.annotate(

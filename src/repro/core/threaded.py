@@ -163,13 +163,16 @@ class ThreadedAsyncSolver:
         view = BlockRowView(A, block_size=self.block_size)
         x = np.zeros(n) if x0 is None else check_vector(x0, n, "x0").copy()
 
-        state = _SharedState(x=x)
-        state.passes = np.zeros(self.workers, dtype=np.int64)
         assignment: List[List] = [[] for _ in range(self.workers)]
         for blk in view.blocks:
             assignment[blk.index % self.workers].append(blk)
-        # Workers with no blocks would idle forever at tiny sizes.
+        # Workers with no blocks would idle forever at tiny sizes; the
+        # pass counters are sized to the *filtered* assignment so
+        # worker_passes always has exactly info["workers"] entries (no
+        # trailing zeros for threads that were never spawned).
         assignment = [a for a in assignment if a]
+        state = _SharedState(x=x)
+        state.passes = np.zeros(len(assignment), dtype=np.int64)
 
         b_norm = float(np.linalg.norm(b))
         threshold = self.stopping.threshold(b_norm)

@@ -208,6 +208,26 @@ class Partition:
             self.stats = compute_stats(A, self.boundaries)
         return self.stats
 
+    def fingerprint(self) -> str:
+        """Stable content digest of this decomposition.
+
+        Hashes the boundary array, the optional row permutation, and the
+        strategy/spec identity — everything that determines which blocks
+        exist and in what order they see the rows.  Two partitions with
+        the same fingerprint compile to interchangeable
+        :class:`repro.perf.SweepPlan` structures on the same matrix, which
+        is what the structure-keyed cache of :mod:`repro.serve` relies on.
+        """
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"{self.strategy}|{self.spec}|".encode())
+        h.update(self.boundaries.tobytes())
+        h.update(b"|perm|")
+        if self.perm is not None:
+            h.update(self.perm.tobytes())
+        return h.hexdigest()
+
     def telemetry(self) -> Dict[str, Any]:
         """JSON-friendly annotation block for :class:`RunRecorder`.
 

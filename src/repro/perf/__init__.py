@@ -30,11 +30,12 @@ from .backends import (
     make_executor,
     resolve_backend,
 )
-from .plan import SweepPlan, compile_sweep_plan, rhs_preserves_fold
+from .plan import SweepPlan, compile_sweep_plan, plan_compile_count, rhs_preserves_fold
 
 __all__ = [
     "SweepPlan",
     "compile_sweep_plan",
+    "plan_compile_count",
     "rhs_preserves_fold",
     "BACKENDS",
     "fused_sweep_exact",

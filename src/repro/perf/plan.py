@@ -33,7 +33,22 @@ import numpy as np
 from ..sparse import BlockRowView
 from ..sparse.csr import CSRMatrix
 
-__all__ = ["SweepPlan", "compile_sweep_plan", "rhs_preserves_fold"]
+__all__ = ["SweepPlan", "compile_sweep_plan", "plan_compile_count", "rhs_preserves_fold"]
+
+#: Total SweepPlan compilations since import — a diagnostic counter the
+#: serve-layer cache tests use to assert "one compilation per structure".
+_COMPILE_COUNT = 0
+
+
+def plan_compile_count() -> int:
+    """Number of :class:`SweepPlan` objects compiled since import.
+
+    :func:`compile_sweep_plan` increments this only when it actually
+    builds a plan (cache hits on the view do not count), so the delta
+    across a workload measures real compilation work — the quantity the
+    structure-keyed cache of :mod:`repro.serve` exists to amortise.
+    """
+    return _COMPILE_COUNT
 
 
 def rhs_preserves_fold(b: np.ndarray) -> bool:
@@ -168,6 +183,8 @@ def compile_sweep_plan(view: BlockRowView) -> SweepPlan:
     other engines sharing the view, e.g. a preconditioner constructing an
     engine per application — return the same object.
     """
+    global _COMPILE_COUNT
     if view._perf_plan is None:
         view._perf_plan = SweepPlan(view)
+        _COMPILE_COUNT += 1
     return view._perf_plan

@@ -374,9 +374,10 @@ class RunLoop:
         sweep: Callable[[np.ndarray], Any],
         residual_norms: Callable[[np.ndarray], np.ndarray],
         *,
-        b_norm: float,
+        b_norm,
         method: str = "batched",
         r0: Optional[np.ndarray] = None,
+        meta: Optional[dict] = None,
     ) -> BatchedRunOutcome:
         """Active-set driver over R replica iterates (batched ensembles).
 
@@ -385,22 +386,38 @@ class RunLoop:
         residual norms in the same order.  A replica whose residual passes
         the threshold (or diverges) freezes — it leaves the active set and
         its history stops growing, exactly like a sequential early exit.
+
+        ``b_norm`` may be a scalar (one shared right-hand side — the
+        ensemble case) or a length-R array of per-replica norms (each
+        replica solves its own right-hand side — the multi-rhs batching
+        the serving layer uses); with an array, each replica is stopped
+        against its own threshold, exactly as a sequential per-request
+        run would be.  *meta* is merged into the telemetry run's metadata.
         """
         st = self.stopping
         m = self.residual_every
         rec = self.recorder
-        threshold = st.threshold(b_norm)
+        b_arr = np.asarray(b_norm, dtype=float)
+        per_replica = b_arr.ndim > 0
+        if per_replica:
+            if st.relative:
+                threshold = np.where(b_arr > 0, st.tol * b_arr, st.tol)
+            else:
+                threshold = np.full(b_arr.shape, st.tol)
+        else:
+            threshold = st.threshold(float(b_arr))
         R = int(X.shape[0])
         if rec is not None:
             rec.open_run(
                 method=method,
-                b_norm=float(b_norm),
-                threshold=threshold,
+                b_norm=b_arr.tolist() if per_replica else float(b_arr),
+                threshold=threshold.tolist() if per_replica else threshold,
                 maxiter=st.maxiter,
                 residual_every=m,
                 tol=st.tol,
                 relative=st.relative,
                 replicas=R,
+                **(meta or {}),
             )
         if r0 is None:
             r0 = residual_norms(np.arange(R, dtype=np.int64))
@@ -427,7 +444,7 @@ class RunLoop:
                 for i, r in enumerate(active):
                     v = float(res[i])
                     histories[r].append(v)
-                    if v <= threshold:
+                    if v <= (threshold[r] if per_replica else threshold):
                         converged[r] = True
                     elif st.diverged(v):
                         diverged[r] = True

@@ -24,6 +24,7 @@ The export schema is versioned (:data:`RunRecorder.SCHEMA`)::
 from __future__ import annotations
 
 import json
+import math
 import time
 from typing import Any, Dict, List, Optional
 
@@ -33,11 +34,21 @@ __all__ = ["RunRecord", "RunRecorder"]
 
 
 def _jsonable(value: Any) -> Any:
-    """Best-effort conversion of numpy containers/scalars for JSON export."""
+    """Conversion of numpy containers/scalars to strict (RFC 8259) JSON types.
+
+    Non-finite floats become ``null``: ``json.dumps`` would otherwise emit
+    the literal ``Infinity``/``NaN`` tokens, which are a Python extension
+    that strict parsers (``jq``, browsers, other languages) reject — and a
+    diverged run records exactly such residuals.  Containers that lost a
+    value this way carry a ``finite: false`` marker where the schema has a
+    place for one (see :meth:`RunRecord.to_dict`).
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return _jsonable(value.tolist())
     if isinstance(value, np.generic):
-        return value.item()
+        return _jsonable(value.item())
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -84,7 +95,16 @@ class RunRecord:
         self.elapsed: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form of this record."""
+        """JSON-serialisable (strict RFC 8259) form of this record.
+
+        Non-finite residual norms — any diverged run records them — are
+        encoded as ``null`` and flagged by a ``"finite": false`` marker in
+        the ``residuals`` block (``true`` when every sample is finite), so
+        the export never contains the non-standard ``Infinity``/``NaN``
+        tokens.  The same sanitisation applies to meta, events,
+        annotations and summary payloads via :func:`_jsonable`.
+        """
+        finite = all(math.isfinite(v) for v in self.residual_norms)
         out: Dict[str, Any] = {
             "meta": _jsonable(self.meta),
             "sweeps": {
@@ -93,7 +113,8 @@ class RunRecord:
             },
             "residuals": {
                 "iters": list(self.residual_iters),
-                "norms": list(self.residual_norms),
+                "norms": [v if math.isfinite(v) else None for v in self.residual_norms],
+                "finite": finite,
             },
             "events": _jsonable(self.events),
             "annotations": _jsonable(self.annotations),
@@ -135,14 +156,28 @@ class RunRecorder:
 
     @property
     def current(self) -> RunRecord:
-        """The run being recorded (opened on demand if none is)."""
+        """The run being recorded.
+
+        Raises :class:`RuntimeError` when no run has ever been opened:
+        recording against a recorder with no open run used to fabricate an
+        empty ``method="adhoc"`` run silently, which made service-level
+        rollups count phantom runs.  Callers must :meth:`open_run` first.
+        """
         if self._current is None:
-            return self.open_run(method="adhoc")
+            raise RuntimeError(
+                "no open run on this RunRecorder - call open_run() before recording"
+            )
         return self._current
 
     def close_run(self, **summary: Any) -> None:
-        """Finish the current run, stamping its outcome and wall-clock."""
-        record = self.current
+        """Finish the current run, stamping its outcome and wall-clock.
+
+        A close without any opened run is a no-op (nothing to close) —
+        it must never fabricate an empty phantom run.
+        """
+        record = self._current
+        if record is None:
+            return
         record.summary.update(summary)
         record.elapsed = time.perf_counter() - record.opened_at
 
@@ -194,8 +229,17 @@ class RunRecorder:
         return {"schema": self.SCHEMA, "runs": [r.to_dict() for r in self.runs]}
 
     def to_json(self, *, indent: int = 2) -> str:
-        """The telemetry as a JSON document."""
-        return json.dumps(self.to_dict(), indent=indent, default=_jsonable)
+        """The telemetry as a strict (RFC 8259) JSON document.
+
+        ``allow_nan=False`` guarantees the output never contains the
+        non-standard ``Infinity``/``NaN`` tokens: every non-finite float
+        has already been encoded as ``null`` (with a ``finite: false``
+        marker on the residual trace) by :meth:`RunRecord.to_dict`, so a
+        diverged run's telemetry still parses everywhere.
+        """
+        return json.dumps(
+            self.to_dict(), indent=indent, default=_jsonable, allow_nan=False
+        )
 
     def dump(self, path) -> None:
         """Write :meth:`to_json` to *path*."""

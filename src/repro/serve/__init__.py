@@ -1,0 +1,58 @@
+"""Solver-as-a-service: persistent in-process serving of solve requests.
+
+The rest of the package answers "solve this system once"; this subsystem
+answers "keep solving systems as requests arrive" — the setting of a
+simulation service or a many-tenant experiment driver, where most of the
+per-solve cost (partitioning, sweep-plan compilation, engine setup) is
+identical across requests and most requests repeat a small set of
+matrices.
+
+* :mod:`repro.serve.fingerprint` — content digests of sparse systems
+  (:func:`matrix_fingerprint`, :func:`structure_fingerprint`): the keys
+  that decide "same system" across independent callers.
+* :mod:`repro.serve.cache` — :class:`PlanCache`, the structure-keyed LRU
+  from fingerprints to compiled :class:`~repro.partition.Partition` /
+  :class:`~repro.sparse.BlockRowView` / :class:`~repro.perf.SweepPlan`
+  artifacts: compilation is paid once per system, not once per request.
+* :mod:`repro.serve.jobs` — :class:`SolveRequest` / :class:`SolveResponse`
+  and the bounded priority :class:`JobQueue` (timeouts, overflow
+  eviction, batch keys).
+* :mod:`repro.serve.service` — :class:`SolveService`: admission batching
+  stacks same-system requests into one ``(R, n)``
+  :class:`~repro.core.engine.BatchedAsyncEngine` multi-vector solve
+  (bitwise what each request would get alone), with per-request
+  :class:`~repro.runtime.RunRecorder` telemetry rolled up into
+  service-level stats and exported as strict RFC 8259 JSON.
+* :mod:`repro.serve.stream` — the JSON-lines job-stream front-end behind
+  the ``repro serve`` CLI command.
+
+>>> from repro import get_matrix, default_rhs
+>>> from repro.serve import SolveService, SolveRequest
+>>> A = get_matrix("fv1")
+>>> service = SolveService()
+>>> for seed in range(4):
+...     _ = service.submit(SolveRequest(A=A, b=default_rhs(A), seed=seed))
+>>> responses = service.drain()   # one batched 4-replica solve
+>>> all(r.result.converged for r in responses)
+True
+"""
+
+from .cache import CacheEntry, PlanCache
+from .fingerprint import matrix_fingerprint, structure_fingerprint
+from .jobs import JobQueue, SolveRequest, SolveResponse
+from .service import SolveService
+from .stream import JobStreamError, parse_job, run_job_stream
+
+__all__ = [
+    "CacheEntry",
+    "JobQueue",
+    "JobStreamError",
+    "PlanCache",
+    "SolveRequest",
+    "SolveResponse",
+    "SolveService",
+    "matrix_fingerprint",
+    "parse_job",
+    "run_job_stream",
+    "structure_fingerprint",
+]

@@ -190,3 +190,88 @@ def test_local_jacobi_sweeps_multivector_bitwise(small_spd):
                 blk.local_off_compressed(), blk.diag, S[r], Z[r], 3, omega=omega
             )
             assert np.array_equal(batched[r], single)
+
+
+# --------------------------------------------------------------------- #
+# Multi-rhs batching: R independent requests on one matrix (repro.serve)
+
+
+def _multi_rhs(A, R):
+    gen = np.random.default_rng(7)
+    return np.stack([A.matvec(gen.standard_normal(A.shape[0])) for _ in range(R)])
+
+
+@pytest.mark.parametrize(
+    "regime", ["gpu-k5", "random-k2", "synchronous", "deferred-writes", "live-reads"]
+)
+def test_multi_rhs_matches_per_request_sequential(trefethen_small, regime):
+    # Replica r of a multi-rhs batch must be bitwise the sequential engine
+    # solving (A, b_r) alone with replica r's seed — the exactness the
+    # serving layer's admission batching relies on.
+    A = trefethen_small
+    cfg = REGIMES[regime]
+    R, sweeps = 3, 4
+    B = _multi_rhs(A, R)
+    seeds = [11, 2, 29]
+    view = BlockRowView(A, block_size=cfg.block_size)
+    engine = BatchedAsyncEngine(view, B, cfg, R, seeds=seeds)
+    X = np.zeros((R, A.shape[0]))
+    batched = []
+    for _ in range(sweeps):
+        engine.sweep(X)
+        batched.append(X.copy())
+    for r in range(R):
+        seq = _sequential_iterates(A, B[r], cfg, seeds[r], sweeps)
+        for t in range(sweeps):
+            assert np.array_equal(batched[t][r], seq[t]), (
+                f"multi-rhs replica {r} diverged from sequential at sweep {t + 1}"
+            )
+
+
+def test_multi_rhs_run_matches_per_request_runs(trefethen_small):
+    # Full run(): per-replica ||b_r||-relative stopping, histories and
+    # final iterates must all match R independent sequential runs.
+    from repro.runtime import StoppingCriterion
+
+    A = trefethen_small
+    cfg = AsyncConfig(order="gpu", local_iterations=3, block_size=32)
+    st = StoppingCriterion(tol=1e-9, maxiter=300)
+    R = 3
+    B = _multi_rhs(A, R)
+    seeds = [4, 0, 17]
+    view = BlockRowView(A, block_size=cfg.block_size)
+    out = BatchedAsyncEngine(view, B, cfg, R, seeds=seeds).run(stopping=st)
+    for r in range(R):
+        seq_view = BlockRowView(A, block_size=cfg.block_size)
+        seq = AsyncEngine(
+            seq_view, B[r], dataclasses.replace(cfg, seed=seeds[r])
+        ).run(stopping=st)
+        assert bool(out.converged[r]) == seq.converged
+        assert np.array_equal(out.X[r], seq.x)
+        assert np.array_equal(out.histories[r], seq.residuals)
+
+
+def test_multi_rhs_shape_and_seeds_validation(trefethen_small):
+    A = trefethen_small
+    cfg = AsyncConfig(block_size=32)
+    view = BlockRowView(A, block_size=32)
+    with pytest.raises(ValueError, match="multi-rhs"):
+        BatchedAsyncEngine(view, np.zeros((3, A.shape[0])), cfg, 2)
+    with pytest.raises(ValueError, match="seeds"):
+        BatchedAsyncEngine(view, _rhs(A), cfg, 2, seeds=[1, 2, 3])
+
+
+def test_seeds_override_matches_seed0_arithmetic(trefethen_small):
+    # seeds=[s0, s0+1, ...] must be bitwise the seed0=s0 default.
+    A = trefethen_small
+    b = _rhs(A)
+    cfg = AsyncConfig(order="gpu", local_iterations=2, block_size=32)
+    view = BlockRowView(A, block_size=32)
+    e1 = BatchedAsyncEngine(view, b, cfg, 3, seed0=5)
+    e2 = BatchedAsyncEngine(view, b, cfg, 3, seeds=[5, 6, 7])
+    X1 = np.zeros((3, A.shape[0]))
+    X2 = np.zeros((3, A.shape[0]))
+    for _ in range(3):
+        e1.sweep(X1)
+        e2.sweep(X2)
+    assert np.array_equal(X1, X2)

@@ -103,3 +103,19 @@ def test_more_workers_than_blocks(small_spd):
     assert r.info["workers"] <= 6
     rel = r.relative_residuals()
     assert rel[-1] < 1e-2 * rel[0]  # progress, even if the tol wasn't hit
+
+
+def test_surplus_worker_telemetry_consistent(small_spd):
+    # Regression: with workers > nblocks the pass counters used to be
+    # sized to the *requested* worker count, so worker_passes carried
+    # phantom all-zero entries for the dropped workers — which made the
+    # condition-(1) check ("every worker made progress") read as violated.
+    b = small_spd.matvec(np.ones(60))
+    r = ThreadedAsyncSolver(
+        local_iterations=1, block_size=30, workers=8,
+        stopping=StoppingCriterion(tol=1e-8, maxiter=500),
+    ).solve(small_spd, b)
+    passes = r.info["worker_passes"]
+    assert r.info["workers"] == 2  # 60 rows / 30 = 2 blocks, 6 workers dropped
+    assert len(passes) == r.info["workers"]
+    assert all(p > 0 for p in passes)

@@ -3,10 +3,15 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro.core import AsyncConfig, BlockAsyncSolver, FaultScenario
 from repro.matrices import default_rhs
 from repro.runtime import RunRecorder, StoppingCriterion
+
+
+def _reject_constant(token):
+    raise ValueError(f"non-standard JSON token {token!r}")
 
 
 def test_recorder_captures_sweeps_residuals_and_events():
@@ -43,10 +48,65 @@ def test_recorder_json_roundtrip_and_dump(tmp_path):
     assert json.loads(path.read_text()) == data
 
 
-def test_adhoc_run_opened_on_demand():
+def test_recording_without_open_run_raises():
+    # Recording against a recorder that never opened a run used to
+    # fabricate a phantom method="adhoc" run silently; it must refuse.
     rec = RunRecorder()
+    with pytest.raises(RuntimeError, match="open_run"):
+        rec.record_residual(0, 1.0)
+    with pytest.raises(RuntimeError, match="open_run"):
+        rec.annotate(backend="reference")
+    with pytest.raises(RuntimeError, match="open_run"):
+        rec.record_event(0, "stop")
+    assert rec.runs == []
+
+
+def test_close_without_open_is_noop():
+    rec = RunRecorder()
+    rec.close_run(converged=True)  # nothing to close; must not fabricate
+    assert rec.runs == []
+    assert json.loads(rec.to_json()) == {"schema": RunRecorder.SCHEMA, "runs": []}
+
+
+def test_annotate_after_close_lands_on_last_run():
+    # Engines/CLI annotate after the loop closed the run; that must keep
+    # working (the last run stays current until the next open).
+    rec = RunRecorder()
+    rec.open_run(method="demo")
+    rec.close_run(converged=True)
+    rec.annotate(matrix="fv1")
+    assert rec.runs[0].annotations == {"matrix": "fv1"}
+
+
+def test_diverged_run_exports_strict_json():
+    # A diverged run records inf/nan residuals; json.dumps would emit the
+    # non-standard Infinity/NaN tokens for them.  The export must encode
+    # them as null with a finite=false marker and stay strictly parseable.
+    rec = RunRecorder()
+    rec.open_run(method="demo", b_norm=float("inf"))
     rec.record_residual(0, 1.0)
-    assert rec.runs[0].meta == {"method": "adhoc"}
+    rec.record_sweep(1, 0.01, float("inf"))
+    rec.record_residual(2, float("nan"))
+    rec.annotate(rho=np.float64("inf"), spectrum=np.array([1.0, np.inf]))
+    rec.close_run(converged=False, diverged=True, final_residual=float("inf"))
+    text = rec.to_json()
+    data = json.loads(text, parse_constant=_reject_constant)
+    run = data["runs"][0]
+    assert run["residuals"]["norms"] == [1.0, None, None]
+    assert run["residuals"]["finite"] is False
+    assert run["meta"]["b_norm"] is None
+    assert run["annotations"]["rho"] is None
+    assert run["annotations"]["spectrum"] == [1.0, None]
+    assert run["summary"]["final_residual"] is None
+
+
+def test_finite_run_marked_finite():
+    rec = RunRecorder()
+    rec.open_run(method="demo")
+    rec.record_residual(0, 1.0)
+    rec.close_run(converged=True)
+    data = json.loads(rec.to_json(), parse_constant=_reject_constant)
+    assert data["runs"][0]["residuals"]["finite"] is True
 
 
 def test_solver_run_feeds_recorder(trefethen_small):

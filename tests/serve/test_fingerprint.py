@@ -1,0 +1,47 @@
+"""Content fingerprints: the "same system" decisions of the serve cache."""
+
+import numpy as np
+
+from repro.serve import matrix_fingerprint, structure_fingerprint
+from repro.sparse import CSRMatrix
+
+
+def _copy(A):
+    return CSRMatrix(A.indptr.copy(), A.indices.copy(), A.data.copy(), A.shape)
+
+
+def test_content_identical_objects_share_fingerprints(small_spd):
+    B = _copy(small_spd)
+    assert B is not small_spd
+    assert structure_fingerprint(B) == structure_fingerprint(small_spd)
+    assert matrix_fingerprint(B) == matrix_fingerprint(small_spd)
+
+
+def test_value_change_flips_matrix_but_not_structure(small_spd):
+    B = _copy(small_spd)
+    B.data[0] += 1.0
+    assert structure_fingerprint(B) == structure_fingerprint(small_spd)
+    assert matrix_fingerprint(B) != matrix_fingerprint(small_spd)
+
+
+def test_structure_change_flips_both(small_spd):
+    dense = np.zeros((60, 60))
+    dense[np.diag_indices(60)] = small_spd.diagonal()
+    D = CSRMatrix.from_dense(dense)
+    assert structure_fingerprint(D) != structure_fingerprint(small_spd)
+    assert matrix_fingerprint(D) != matrix_fingerprint(small_spd)
+
+
+def test_fingerprint_is_stable_and_hexadecimal(small_spd):
+    fp = matrix_fingerprint(small_spd)
+    assert fp == matrix_fingerprint(small_spd)
+    assert len(fp) == 32
+    int(fp, 16)  # must be hex
+
+
+def test_shape_disambiguates_identical_arrays():
+    # Two matrices with identical raw arrays but different declared shapes
+    # (trailing empty columns) must not collide.
+    A = CSRMatrix.from_dense(np.array([[2.0, 1.0], [0.0, 3.0]]))
+    B = CSRMatrix(A.indptr, A.indices, A.data, (2, 3))
+    assert structure_fingerprint(A) != structure_fingerprint(B)

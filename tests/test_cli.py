@@ -179,3 +179,70 @@ def test_experiment_all_rejects_telemetry(tmp_path, capsys):
         == 2
     )
     assert "single experiment" in capsys.readouterr().err
+
+
+def test_serve_command_jobs_file(tmp_path, capsys):
+    import json
+
+    jobs = tmp_path / "jobs.jsonl"
+    jobs.write_text(
+        "\n".join(
+            [
+                '{"matrix": "Trefethen_2000", "id": "a", "rhs": "random", "seed": 0}',
+                '{"matrix": "Trefethen_2000", "id": "b", "rhs": "random", "seed": 1}',
+                "# comment lines and blanks are skipped",
+                "",
+                '{"matrix": "Trefethen_2000", "id": "c", "tol": 1e-6}',
+            ]
+        )
+        + "\n"
+    )
+    telemetry = tmp_path / "serve.json"
+    code = main(
+        [
+            "serve", str(jobs),
+            "--tol", "1e-8", "--maxiter", "600",
+            "--block-size", "128",
+            "--stats",
+            "--telemetry-json", str(telemetry),
+        ]
+    )
+    assert code == 0
+    out_lines = capsys.readouterr().out.strip().splitlines()
+    responses = [json.loads(line) for line in out_lines[:3]]
+    by_id = {r["id"]: r for r in responses}
+    assert set(by_id) == {"a", "b", "c"}
+    # a and b share matrix/config/stopping → one batch; c stops differently.
+    assert by_id["a"]["batch_size"] == 2 and by_id["b"]["batch_size"] == 2
+    assert by_id["c"]["batch_size"] == 1
+    assert all(r["status"] == "completed" and r["converged"] for r in responses)
+    stats = json.loads("\n".join(out_lines[3:]))
+    assert stats["service"]["requests"]["completed"] == 3
+
+    def _reject(token):
+        raise ValueError(token)
+
+    doc = json.loads(telemetry.read_text(), parse_constant=_reject)
+    assert doc["schema"] == "repro.serve/v1"
+    assert len(doc["telemetry"]["runs"]) == 4  # 1 batched drive + 3 requests
+
+
+def test_serve_command_stdin(monkeypatch, capsys):
+    import io
+    import json
+
+    monkeypatch.setattr(
+        "sys.stdin",
+        io.StringIO('{"matrix": "Trefethen_2000", "id": "only", "tol": 1e-6}\n'),
+    )
+    code = main(["serve", "--block-size", "128", "--maxiter", "600"])
+    assert code == 0
+    response = json.loads(capsys.readouterr().out.strip())
+    assert response["id"] == "only" and response["status"] == "completed"
+
+
+def test_serve_command_bad_job_errors(tmp_path, capsys):
+    jobs = tmp_path / "bad.jsonl"
+    jobs.write_text('{"matrix": "Trefethen_2000", "typo_key": 1}\n')
+    assert main(["serve", str(jobs)]) == 2
+    assert "unknown job keys" in capsys.readouterr().err

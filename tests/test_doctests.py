@@ -13,6 +13,7 @@ import repro
 import repro.core.block_async
 import repro.core.threaded
 import repro.extensions.multigrid
+import repro.serve
 
 
 @pytest.mark.parametrize(
@@ -22,6 +23,7 @@ import repro.extensions.multigrid
         repro.core.block_async,
         repro.core.threaded,
         repro.extensions.multigrid,
+        repro.serve,
     ],
     ids=lambda m: m.__name__,
 )

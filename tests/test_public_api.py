@@ -28,9 +28,19 @@ def test_quickstart_docstring_flow():
 
 
 def test_subpackage_exports():
-    from repro import core, experiments, extensions, gpu, matrices, solvers, sparse, stats
+    from repro import (
+        core,
+        experiments,
+        extensions,
+        gpu,
+        matrices,
+        serve,
+        solvers,
+        sparse,
+        stats,
+    )
 
-    for mod in (core, experiments, extensions, gpu, matrices, solvers, sparse, stats):
+    for mod in (core, experiments, extensions, gpu, matrices, serve, solvers, sparse, stats):
         assert mod.__doc__
         for name in getattr(mod, "__all__", []):
             assert hasattr(mod, name), f"{mod.__name__}.{name}"
