@@ -1,0 +1,158 @@
+"""Strong scaling of the multiprocess sharded solver (:mod:`repro.dist`).
+
+The sharding claim: splitting one block-asynchronous solve across worker
+processes buys wall-clock time to tolerance without changing the method —
+the outer bounded-staleness stage costs (nearly) no extra sweeps.  Two
+cells keep it honest:
+
+* **speedup** — time to tolerance on a Trefethen_20000-class system at
+  1, 2 and 4 shards.  On a host with >= 4 usable cores the 4-shard cell
+  must beat the 1-shard cell by the gate below; on smaller hosts the
+  workers time-slice the same cores, so the measurement is recorded but
+  the gate is not armed (``gate_enforced: false`` + the core count land
+  in the JSON so the artifact says which regime produced it).
+* **staleness** — the *measured* outer staleness of every cell must stay
+  below the configured bound; the bound itself is part of the artifact.
+
+Artifacts: ``benchmarks/artifacts/BENCH_shard.txt`` (rendered) and
+``BENCH_shard.json`` (machine-readable rows).  Runs standalone
+(``python benchmarks/bench_shard.py``) or under pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.dist import DistAsyncSolver
+from repro.matrices import default_rhs, get_matrix
+from repro.runtime import StoppingCriterion
+
+#: The paper's large Trefethen system (§4.1 suite).
+MATRIX = "Trefethen_20000"
+
+#: Shard counts of the strong-scaling sweep.
+SHARD_COUNTS = (1, 2, 4)
+
+#: Outer staleness bound of every cell.
+MAX_STALENESS = 2
+
+#: Relative-residual target the cells run to.
+TOL = 1e-9
+
+#: Hard gate (armed only with >= GATE_MIN_CPUS usable cores): 4 shards
+#: must beat 1 shard by this factor in time to tolerance.
+MIN_SPEEDUP = 1.8
+GATE_MIN_CPUS = 4
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _cell(A, b, shards: int) -> dict:
+    solver = DistAsyncSolver(
+        shards=shards,
+        max_staleness=MAX_STALENESS,
+        local_iterations=2,
+        block_size=256,
+        stopping=StoppingCriterion(tol=TOL, maxiter=500),
+    )
+    t0 = time.perf_counter()
+    result = solver.solve(A, b)
+    seconds = time.perf_counter() - t0
+    dist = result.info["dist"]
+    return {
+        "shards": shards,
+        "seconds": seconds,
+        "sweeps": int(result.info["sweeps"]),
+        "converged": bool(result.converged),
+        "staleness_bound": MAX_STALENESS,
+        "staleness_max_observed": int(dist["staleness_max_observed"]),
+        "staleness_histogram": dist["staleness_histogram"],
+    }
+
+
+def run_benchmark() -> dict:
+    """Time-to-tolerance at each shard count plus the gate verdict."""
+    A = get_matrix(MATRIX)
+    b = default_rhs(A)
+    cells = [_cell(A, b, s) for s in SHARD_COUNTS]
+    base = cells[0]["seconds"]
+    for c in cells:
+        c["speedup"] = base / c["seconds"] if c["seconds"] > 0 else float("inf")
+    cpus = _usable_cpus()
+    return {
+        "matrix": MATRIX,
+        "tol": TOL,
+        "cpus": cpus,
+        "gate": MIN_SPEEDUP,
+        "gate_enforced": cpus >= GATE_MIN_CPUS,
+        "cells": cells,
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"Sharded solver strong scaling — {result['matrix']}, "
+        f"tol {result['tol']:g}, staleness bound {MAX_STALENESS}",
+        f"host: {result['cpus']} usable CPU core(s); "
+        f"speedup gate ({result['gate']:.1f}x at 4 shards) "
+        + ("ARMED" if result["gate_enforced"] else "not armed (needs >= 4 cores)"),
+        "",
+        "shards  seconds  speedup  sweeps  converged  staleness obs/cap",
+    ]
+    for c in result["cells"]:
+        lines.append(
+            f"{c['shards']:6d}  {c['seconds']:7.3f}  {c['speedup']:6.2f}x  "
+            f"{c['sweeps']:6d}  {str(c['converged']):>9}  "
+            f"{c['staleness_max_observed']}/{c['staleness_bound'] - 1}"
+        )
+    return "\n".join(lines)
+
+
+def _write_artifacts(text: str, result: dict) -> Path:
+    outdir = Path(__file__).parent / "artifacts"
+    outdir.mkdir(exist_ok=True)
+    path = outdir / "BENCH_shard.txt"
+    path.write_text(text + "\n")
+    (outdir / "BENCH_shard.json").write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+def _check(result: dict) -> None:
+    for c in result["cells"]:
+        assert c["converged"], f"{c['shards']}-shard cell failed to converge"
+        assert c["staleness_max_observed"] < c["staleness_bound"], (
+            f"{c['shards']}-shard cell observed staleness "
+            f"{c['staleness_max_observed']} >= bound {c['staleness_bound']}"
+        )
+    if result["gate_enforced"]:
+        four = next(c for c in result["cells"] if c["shards"] == 4)
+        assert four["speedup"] >= result["gate"], (
+            f"4-shard speedup {four['speedup']:.2f}x below the "
+            f"{result['gate']:.1f}x gate:\n" + render(result)
+        )
+
+
+def test_shard_benchmark():
+    result = run_benchmark()
+    _write_artifacts(render(result), result)
+    _check(result)
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    text = render(result)
+    print(text)
+    print(f"\nwrote {_write_artifacts(text, result)}")
+    try:
+        _check(result)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        raise SystemExit(1)
+    raise SystemExit(0)

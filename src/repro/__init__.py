@@ -30,6 +30,9 @@ Package map
   asynchronous engine, ``async-(k)``, fault scenarios, convergence theory.
 * :mod:`repro.gpu`         — the simulated GPU substrate: devices,
   streams/event simulation, calibrated timing, multi-GPU strategies.
+* :mod:`repro.dist`        — multiprocess sharding: two-stage
+  multisplitting over shared memory, bounded-staleness halo exchange,
+  shard fault recovery (``DistAsyncSolver``).
 * :mod:`repro.serve`       — solver-as-a-service: plan caching, admission
   batching of same-system requests, bounded priority queueing, service
   telemetry rollups (the ``repro serve`` CLI front-end).
@@ -41,6 +44,7 @@ Package map
 """
 
 from .core import AsyncConfig, BlockAsyncSolver, FaultScenario
+from .dist import DistAsyncSolver
 from .matrices import PAPER_TABLE1, SUITE_NAMES, characterize, default_rhs, get_matrix
 from .partition import Partition, make_partition
 from .serve import SolveRequest, SolveResponse, SolveService
@@ -60,6 +64,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AsyncConfig",
     "BlockAsyncSolver",
+    "DistAsyncSolver",
     "FaultScenario",
     "PAPER_TABLE1",
     "SUITE_NAMES",

@@ -92,6 +92,17 @@ def _build_solver(args, recorder=None):
         partition=partition,
         residual_every=every,
     )
+    shards = getattr(args, "shards", 0)
+    if shards:
+        from .dist import DistAsyncSolver
+
+        return DistAsyncSolver(
+            cfg,
+            shards=shards,
+            max_staleness=getattr(args, "max_staleness", 2),
+            stopping=stopping,
+            recorder=recorder,
+        )
     return BlockAsyncSolver(cfg, stopping=stopping, recorder=recorder)
 
 
@@ -157,7 +168,17 @@ def _cmd_solve(args) -> int:
         return 2
     if recorder is not None:
         recorder.annotate(matrix=args.matrix)
-        recorder.dump(args.telemetry_json)
+        telemetry = getattr(solver, "last_telemetry", None)
+        if telemetry is not None:
+            # Sharded solves export the repro.dist/v1 document (driver run
+            # plus per-shard worker runs); plain solves the runtime schema.
+            import json
+
+            with open(args.telemetry_json, "w") as fh:
+                json.dump(telemetry, fh, indent=2, allow_nan=False)
+                fh.write("\n")
+        else:
+            recorder.dump(args.telemetry_json)
     rel = result.relative_residuals()
     if args.json:
         import json
@@ -316,6 +337,23 @@ def build_parser() -> argparse.ArgumentParser:
         "uniform[:block_size], work_balanced[:nblocks], rcm[:block_size], "
         "clustered[:block_size] (default uniform — the paper's CUDA-grid cut; "
         "PARAM falls back to --block-size)",
+    )
+    ps.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run --solver=async across N worker processes (repro.dist: "
+        "two-stage multisplitting over shared memory; 0 = in-process; "
+        "--shards 1 is bitwise the in-process solver)",
+    )
+    ps.add_argument(
+        "--max-staleness",
+        type=int,
+        default=2,
+        metavar="S",
+        help="outer-sweep staleness bound between shards (with --shards; "
+        "1 = synchronous outer stage)",
     )
     ps.add_argument("--rhs", choices=("ones", "random", "unit"), default="ones")
     ps.add_argument(

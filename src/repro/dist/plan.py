@@ -1,0 +1,111 @@
+"""The shard plan: which worker process owns which blocks (and rows).
+
+A :class:`ShardPlan` is the process-level analogue of the block-level
+:class:`repro.partition.Partition`: it groups a partition's blocks into
+contiguous per-shard ranges through the shared placement helper
+(:func:`repro.partition.contiguous_placement`), either by block count
+(``placement="blocks"`` — bitwise the simulated multi-GPU split) or by
+stored nonzeros (``placement="work"`` — the equal-work split, needs the
+matrix).  Because blocks are contiguous row ranges, each shard's rows are
+contiguous too, which is what lets every worker hold a *square* local
+matrix plus a halo part in global numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..partition import Partition, contiguous_placement, group_ranges, placement_telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sparse.csr import CSRMatrix
+
+__all__ = ["ShardPlan", "make_shard_plan"]
+
+#: Placement policies (weights fed to ``contiguous_placement``).
+PLACEMENTS = ("blocks", "work")
+
+
+@dataclass(eq=False)
+class ShardPlan:
+    """Blocks and rows of each worker process.
+
+    Attributes
+    ----------
+    partition:
+        The block decomposition being sharded.
+    nshards:
+        Number of worker processes.
+    assignment:
+        Shard id per block (contiguous, non-decreasing).
+    placement:
+        Policy that produced the assignment (``"blocks"`` or ``"work"``).
+    """
+
+    partition: Partition
+    nshards: int
+    assignment: np.ndarray
+    placement: str = "blocks"
+    _block_ranges: Optional[List[Tuple[int, int]]] = field(default=None, repr=False)
+
+    def block_range(self, shard: int) -> Tuple[int, int]:
+        """Half-open block range ``[blo, bhi)`` owned by *shard*."""
+        if self._block_ranges is None:
+            self._block_ranges = group_ranges(self.assignment)
+        return self._block_ranges[shard]
+
+    def row_range(self, shard: int) -> Tuple[int, int]:
+        """Half-open row range ``[lo, hi)`` owned by *shard*."""
+        blo, bhi = self.block_range(shard)
+        b = self.partition.boundaries
+        return int(b[blo]), int(b[bhi])
+
+    def telemetry(self) -> Dict[str, Any]:
+        """JSON-friendly shard→block map (shared shape with the GPU layer)."""
+        out = placement_telemetry(self.assignment)
+        out["placement"] = self.placement
+        out["shard_rows"] = [list(self.row_range(s)) for s in range(self.nshards)]
+        return out
+
+
+def make_shard_plan(
+    partition: Partition,
+    nshards: int,
+    *,
+    placement: str = "blocks",
+    A: Optional["CSRMatrix"] = None,
+) -> ShardPlan:
+    """Group *partition*'s blocks into *nshards* contiguous shard ranges.
+
+    ``placement="blocks"`` balances block counts (no matrix needed);
+    ``placement="work"`` balances stored nonzeros per shard and needs *A*
+    **in partition order** (pass ``partition.permute_matrix(A)`` when the
+    partition permutes).  Every shard owns at least one block, so
+    ``nshards`` must not exceed the block count.
+    """
+    if placement not in PLACEMENTS:
+        raise ValueError(f"placement must be one of {PLACEMENTS}, got {placement!r}")
+    nshards = int(nshards)
+    if nshards < 1:
+        raise ValueError("nshards must be >= 1")
+    if nshards > partition.nblocks:
+        raise ValueError(
+            f"nshards must be <= nblocks: got {nshards} shards for "
+            f"{partition.nblocks} blocks"
+        )
+    weights = None
+    if placement == "work":
+        if A is None:
+            raise ValueError("placement='work' needs the matrix (in partition order)")
+        b = partition.boundaries
+        weights = (A.indptr[b[1:]] - A.indptr[b[:-1]]).astype(np.float64)
+    assignment = contiguous_placement(partition.nblocks, nshards, weights=weights)
+    return ShardPlan(
+        partition=partition,
+        nshards=nshards,
+        assignment=assignment,
+        placement=placement,
+    )

@@ -1,0 +1,163 @@
+"""The shared-memory state one distributed solve lives in.
+
+One ``multiprocessing.shared_memory`` segment holds everything the driver
+and the workers exchange:
+
+========  =========  ===================================================
+field     dtype      meaning
+========  =========  ===================================================
+header    int64[8]   ``[n, nshards, stop, target, ...reserved]``
+x         float64[n] the outer iterate, in partition order
+epochs    int64[S]   completed outer sweeps per shard
+hb        float64[S] per-shard heartbeat (``time.time()`` wall clock)
+alive     int64[S]   1 while the shard participates, 0 once reassigned
+range_lo  int64[S]   current block range per shard (half-open) —
+range_hi  int64[S]   re-read by workers each sweep, so the driver can
+                     reassign a dead shard's blocks mid-solve
+========  =========  ===================================================
+
+The driver creates (and finally unlinks) the segment; workers attach.
+Python 3.11's ``resource_tracker`` registers attached segments in the
+*child* too and would unlink them at child exit (bpo-39959), destroying
+the parent's mapping — so :meth:`SharedState.attach` unregisters the
+segment from the attaching process's tracker; only the creator cleans up.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SharedState"]
+
+_HEADER_SLOTS = 8
+_IDX_N, _IDX_NSHARDS, _IDX_STOP, _IDX_TARGET = 0, 1, 2, 3
+
+
+class SharedState:
+    """Typed numpy views over one solve's shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, n: int, nshards: int, *, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.n = int(n)
+        self.nshards = int(nshards)
+        buf = shm.buf
+        off = 0
+
+        def carve(dtype, count):
+            nonlocal off
+            arr = np.frombuffer(buf, dtype=dtype, count=count, offset=off)
+            off += arr.nbytes
+            return arr
+
+        self.header = carve(np.int64, _HEADER_SLOTS)
+        self.x = carve(np.float64, self.n)
+        self.epochs = carve(np.int64, self.nshards)
+        self.hb = carve(np.float64, self.nshards)
+        self.alive = carve(np.int64, self.nshards)
+        self.range_lo = carve(np.int64, self.nshards)
+        self.range_hi = carve(np.int64, self.nshards)
+
+    # --- lifecycle --------------------------------------------------------
+
+    @staticmethod
+    def _nbytes(n: int, nshards: int) -> int:
+        return 8 * (_HEADER_SLOTS + n + 5 * nshards)
+
+    @classmethod
+    def create(cls, n: int, nshards: int) -> "SharedState":
+        """Allocate a fresh segment (driver side) and zero every field."""
+        name = f"repro-dist-{os.getpid()}-{os.urandom(4).hex()}"
+        shm = shared_memory.SharedMemory(
+            create=True, size=cls._nbytes(n, nshards), name=name
+        )
+        state = cls(shm, n, nshards, owner=True)
+        state.header[:] = 0
+        state.header[_IDX_N] = n
+        state.header[_IDX_NSHARDS] = nshards
+        state.x[:] = 0.0
+        state.epochs[:] = 0
+        state.hb[:] = 0.0
+        state.alive[:] = 1
+        state.range_lo[:] = 0
+        state.range_hi[:] = 0
+        return state
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedState":
+        """Map an existing segment (worker side) without adopting cleanup.
+
+        Registration with the attaching process's ``resource_tracker`` is
+        suppressed for the duration of the attach: before 3.13 there is no
+        ``track=False``, and a tracked attach means either the first worker
+        to exit unlinks the segment under everyone else (spawn,
+        bpo-39959) or the worker's unregister corrupts the creator's own
+        tracker entry (fork, shared tracker process).  Only the creator
+        tracks — and unlinks — the segment.
+        """
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+        header = np.frombuffer(shm.buf, dtype=np.int64, count=_HEADER_SLOTS)
+        return cls(shm, int(header[_IDX_N]), int(header[_IDX_NSHARDS]), owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach by."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (the numpy views die with it)."""
+        # Release the buffer views before closing the mapping; an exported
+        # pointer keeps SharedMemory.close() from unmapping on CPython.
+        for attr in ("header", "x", "epochs", "hb", "alive", "range_lo", "range_hi"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+    # --- typed accessors --------------------------------------------------
+
+    @property
+    def stop(self) -> bool:
+        return bool(self.header[_IDX_STOP])
+
+    def request_stop(self) -> None:
+        self.header[_IDX_STOP] = 1
+
+    @property
+    def target(self) -> int:
+        return int(self.header[_IDX_TARGET])
+
+    def publish_target(self, target: int) -> None:
+        self.header[_IDX_TARGET] = int(target)
+
+    def live_shards(self) -> np.ndarray:
+        """Indices of shards still participating."""
+        return np.flatnonzero(self.alive != 0)
+
+    def min_live_epoch(self) -> int:
+        live = self.live_shards()
+        return int(self.epochs[live].min()) if len(live) else 0
+
+    def set_range(self, shard: int, blo: int, bhi: int) -> None:
+        self.range_lo[shard] = int(blo)
+        self.range_hi[shard] = int(bhi)
+
+    def get_range(self, shard: int) -> tuple:
+        return int(self.range_lo[shard]), int(self.range_hi[shard])

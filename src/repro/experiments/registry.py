@@ -38,6 +38,7 @@ class Experiment:
 def _build() -> Dict[str, Experiment]:
     from . import (
         exp_ablations,
+        exp_dist,
         exp_extensions,
         exp_fault,
         exp_fig1,
@@ -70,6 +71,7 @@ def _build() -> Dict[str, Experiment]:
         Experiment("X3", "Extension: RCM reordering", exp_extensions.run_x3),
         Experiment("X4", "Extension: silent-error detection", exp_extensions.run_x4),
         Experiment("X5", "Extension: seeded model vs real threads", exp_threaded.run),
+        Experiment("X6", "Extension: multiprocess sharding scaling", exp_dist.run),
         Experiment("A1", "Ablations: staleness / block size / order / sync-vs-async", exp_ablations.run),
     ]
     reg = {e.id: e for e in entries}

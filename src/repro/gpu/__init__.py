@@ -21,7 +21,7 @@ from .memory import Link, transfer_time, PCIE_GEN2_X16, QPI
 from .streams import Resource, Task, EventSimulator
 from .timing import IterationCostModel, SetupCostModel, PAPER_TABLE5, PAPER_TABLE4_FV3
 from .cluster import GPUClusterSpec, SUPERMICRO_4GPU
-from .multigpu import MultiGPUModel, STRATEGIES
+from .multigpu import MultiDeviceEngine, MultiGPUModel, STRATEGIES, device_partition
 
 __all__ = [
     "DeviceSpec",
@@ -41,6 +41,8 @@ __all__ = [
     "PAPER_TABLE4_FV3",
     "GPUClusterSpec",
     "SUPERMICRO_4GPU",
+    "MultiDeviceEngine",
     "MultiGPUModel",
     "STRATEGIES",
+    "device_partition",
 ]

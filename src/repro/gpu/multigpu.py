@@ -231,16 +231,24 @@ def device_partition(nblocks, ngpus: int) -> np.ndarray:
 
     *nblocks* is a block count or a :class:`repro.partition.Partition`
     (whose block count is used) — the splitter rides on whatever
-    decomposition the engine runs, uniform or not.
+    decomposition the engine runs, uniform or not.  Delegates to the
+    shared :func:`repro.partition.contiguous_placement` helper (also used
+    by the multiprocess sharding layer, :mod:`repro.dist`), whose
+    unweighted split is bitwise the historical formula.
     """
-    from ..partition import Partition
+    from ..partition import Partition, contiguous_placement
 
     if isinstance(nblocks, Partition):
         nblocks = nblocks.nblocks
     nblocks = int(nblocks)
     if nblocks < 1 or ngpus < 1:
         raise ValueError("nblocks and ngpus must be positive")
-    return np.minimum((np.arange(nblocks) * ngpus) // nblocks, ngpus - 1).astype(np.int64)
+    if ngpus > nblocks:
+        # More devices than blocks: the shared helper insists every group
+        # owns a block, so keep the historical spread (surplus devices
+        # simply receive none) for this edge.
+        return np.minimum((np.arange(nblocks) * ngpus) // nblocks, ngpus - 1).astype(np.int64)
+    return contiguous_placement(nblocks, ngpus)
 
 
 class MultiDeviceEngine(AsyncEngine):
@@ -282,6 +290,31 @@ class MultiDeviceEngine(AsyncEngine):
             near, far = blk.external.column_range_split(lo, hi)
             self._near.append(near)
             self._far.append(far)
+
+    def device_map(self) -> dict:
+        """JSON-friendly device→block map (shared shape with ``repro.dist``).
+
+        Rendered by :func:`repro.partition.placement_telemetry` so the
+        simulated multi-device layer and the real multiprocess sharding
+        layer annotate the exact same structure into their telemetry.
+        """
+        from ..partition import placement_telemetry
+
+        return placement_telemetry(self.assignment)
+
+    def run(self, x0=None, **kwargs):
+        """Engine-level run (see :meth:`AsyncEngine.run`) plus the device map.
+
+        The resolved device→block assignment is annotated into both the
+        telemetry run and ``result.info``, mirroring the shard map the
+        multiprocess layer reports.
+        """
+        result = super().run(x0, **kwargs)
+        result.info["device_map"] = self.device_map()
+        result.info["ngpus"] = self.ngpus
+        if self.recorder is not None:
+            self.recorder.annotate(device_map=self.device_map(), ngpus=self.ngpus)
+        return result
 
     def sweep(self, x: np.ndarray) -> np.ndarray:
         """One global iteration with per-device snapshot isolation.

@@ -10,6 +10,7 @@ for the dataclass and :mod:`repro.partition.strategies` for the
 """
 
 from .core import Partition, PartitionStats, compute_stats
+from .placement import contiguous_placement, group_ranges, placement_telemetry
 from .rows import partition_rows, partition_rows_by_work
 from .strategies import (
     available_strategies,
@@ -23,9 +24,12 @@ __all__ = [
     "PartitionStats",
     "available_strategies",
     "compute_stats",
+    "contiguous_placement",
+    "group_ranges",
     "make_partition",
     "parse_partition_spec",
     "partition_rows",
     "partition_rows_by_work",
+    "placement_telemetry",
     "register_strategy",
 ]

@@ -1,0 +1,116 @@
+"""Contiguous block→group placement shared by the sharding layers.
+
+Two layers of the package split a :class:`Partition`'s blocks over
+execution groups: :func:`repro.gpu.device_partition` assigns blocks to
+simulated GPUs (paper §3.4), and :mod:`repro.dist` assigns blocks to
+worker *processes*.  Both need the same thing — contiguous, balanced
+block ranges — so the splitter lives here once and both delegate:
+
+* **unweighted** placement reproduces the historical ``device_partition``
+  formula bitwise (equal-count contiguous ranges);
+* **weighted** placement balances a per-block cost (typically stored
+  nonzeros) instead of block counts, the same equal-work idea as
+  :func:`repro.partition.partition_rows_by_work` one level up.
+
+:func:`placement_telemetry` renders an assignment as the JSON-friendly
+group→block map that both the simulated (:class:`repro.gpu.MultiDeviceEngine`)
+and real (:class:`repro.dist.DistAsyncSolver`) layers annotate into their
+run telemetry, so the two layers' shard maps are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["contiguous_placement", "group_ranges", "placement_telemetry"]
+
+
+def contiguous_placement(
+    nblocks: int, ngroups: int, *, weights: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Group id per block: contiguous balanced ranges.
+
+    Without *weights*, block *k* lands in group
+    ``min(k * ngroups // nblocks, ngroups - 1)`` — bitwise the historical
+    :func:`repro.gpu.device_partition` split (equal block counts, earlier
+    groups take the remainder).  With *weights* (one non-negative cost per
+    block), group boundaries sit where the cumulative weight crosses each
+    ``g/ngroups`` of the total, so every group carries nearly equal work;
+    every group still owns at least one block (requires
+    ``ngroups <= nblocks``), falling back to the unweighted split when the
+    weight profile degenerates.
+    """
+    nblocks = int(nblocks)
+    ngroups = int(ngroups)
+    if nblocks < 1 or ngroups < 1:
+        raise ValueError("nblocks and ngroups must be positive")
+    if ngroups > nblocks:
+        raise ValueError(
+            f"ngroups must be <= nblocks: got ngroups={ngroups} for "
+            f"{nblocks} blocks (every group must own at least one block)"
+        )
+    if weights is None:
+        return np.minimum(
+            (np.arange(nblocks) * ngroups) // nblocks, ngroups - 1
+        ).astype(np.int64)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (nblocks,):
+        raise ValueError(f"weights must have shape ({nblocks},), got {w.shape}")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    csum = np.concatenate([[0.0], np.cumsum(w)])
+    if csum[-1] <= 0:
+        return contiguous_placement(nblocks, ngroups)
+    targets = np.linspace(0.0, csum[-1], ngroups + 1)
+    bounds = np.searchsorted(csum, targets, side="left").astype(np.int64)
+    bounds[0], bounds[-1] = 0, nblocks
+    for g in range(1, ngroups + 1):
+        if bounds[g] <= bounds[g - 1]:
+            bounds[g] = min(bounds[g - 1] + 1, nblocks)
+    bounds[-1] = nblocks
+    if np.any(np.diff(bounds) <= 0):
+        # Degenerate weight profile (all mass at the front): equal counts.
+        return contiguous_placement(nblocks, ngroups)
+    return np.repeat(np.arange(ngroups, dtype=np.int64), np.diff(bounds))
+
+
+def group_ranges(assignment: np.ndarray) -> List[Tuple[int, int]]:
+    """Half-open block range ``[lo, hi)`` of each group, in group order.
+
+    *assignment* must be a contiguous non-decreasing placement (the output
+    of :func:`contiguous_placement`) covering every group at least once.
+    """
+    a = np.asarray(assignment, dtype=np.int64)
+    if len(a) == 0:
+        return []
+    if np.any(np.diff(a) < 0):
+        raise ValueError("assignment must be non-decreasing (contiguous ranges)")
+    ngroups = int(a[-1]) + 1
+    bounds = np.searchsorted(a, np.arange(ngroups + 1), side="left")
+    if np.any(np.diff(bounds) <= 0):
+        raise ValueError("assignment must give every group at least one block")
+    return [(int(bounds[g]), int(bounds[g + 1])) for g in range(ngroups)]
+
+
+def placement_telemetry(assignment: np.ndarray) -> Dict[str, Any]:
+    """JSON-friendly group→block map for :class:`RunRecorder` annotations.
+
+    The same block may be priced differently by the simulated-GPU and
+    multiprocess layers, but both annotate this exact structure, so a
+    telemetry consumer can line their shard maps up directly.  Unlike
+    :func:`group_ranges`, empty groups are tolerated (``[lo, lo)``) —
+    the simulated layer allows more devices than blocks.
+    """
+    a = np.asarray(assignment, dtype=np.int64)
+    if len(a) and np.any(np.diff(a) < 0):
+        raise ValueError("assignment must be non-decreasing (contiguous ranges)")
+    ngroups = int(a[-1]) + 1 if len(a) else 0
+    bounds = np.searchsorted(a, np.arange(ngroups + 1), side="left")
+    ranges = [(int(bounds[g]), int(bounds[g + 1])) for g in range(ngroups)]
+    return {
+        "ngroups": len(ranges),
+        "blocks_per_group": [hi - lo for lo, hi in ranges],
+        "group_blocks": [[lo, hi] for lo, hi in ranges],
+    }

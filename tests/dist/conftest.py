@@ -1,0 +1,69 @@
+"""Shared fixtures for the distributed-sharding tests.
+
+Every test in this directory runs under the leak check: after each test no
+worker process may still be alive and no ``repro-dist-*`` shared-memory
+segment may remain in ``/dev/shm`` — the teardown *asserts* both, so a
+cleanup regression fails the suite instead of silently accumulating
+orphans.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.matrices import trefethen
+from repro.runtime import StoppingCriterion
+
+
+def _dist_children():
+    return [
+        p
+        for p in multiprocessing.active_children()
+        if p.name.startswith("repro-dist-shard")
+    ]
+
+
+def _dist_segments():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob("/dev/shm/repro-dist-*")
+
+
+@pytest.fixture(autouse=True)
+def no_orphans():
+    """Assert no leaked worker processes or shm segments after each test."""
+    yield
+    deadline = time.monotonic() + 10.0
+    while _dist_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    leaked = _dist_children()
+    for p in leaked:  # reap before failing so one leak doesn't cascade
+        p.terminate()
+        p.join(timeout=5.0)
+    segments = _dist_segments()
+    for path in segments:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    assert not leaked, f"leaked shard processes: {leaked}"
+    assert not segments, f"leaked shared-memory segments: {segments}"
+
+
+@pytest.fixture(scope="session")
+def small_system():
+    """A small SPD system every dist test can share."""
+    A = trefethen(240)
+    b = np.ones(A.shape[0])
+    return A, b
+
+
+@pytest.fixture(scope="session")
+def stopping():
+    return StoppingCriterion(tol=1e-10, maxiter=300)

@@ -1,0 +1,80 @@
+"""CLI front-end: ``repro solve --shards N`` routes through repro.dist."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_solve_with_shards_emits_dist_telemetry(tmp_path, capsys):
+    out = tmp_path / "telemetry.json"
+    rc = main(
+        [
+            "solve",
+            "Trefethen_2000",
+            "--solver",
+            "async",
+            "--shards",
+            "2",
+            "--local-iterations",
+            "2",
+            "--block-size",
+            "128",
+            "--maxiter",
+            "300",
+            "--telemetry-json",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "dist(2)-async-(2)" in stdout
+
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.dist/v1"
+    assert doc["dist"]["nshards"] == 2
+    assert len(doc["shards"]) == 2
+    assert doc["plan"]["ngroups"] == 2
+
+
+def test_solve_without_shards_keeps_runtime_schema(tmp_path):
+    out = tmp_path / "telemetry.json"
+    rc = main(
+        [
+            "solve",
+            "Trefethen_2000",
+            "--solver",
+            "async",
+            "--local-iterations",
+            "2",
+            "--maxiter",
+            "300",
+            "--telemetry-json",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.runtime/v1"
+
+
+def test_max_staleness_flag(tmp_path, capsys):
+    rc = main(
+        [
+            "solve",
+            "Trefethen_2000",
+            "--solver",
+            "async",
+            "--shards",
+            "2",
+            "--max-staleness",
+            "1",
+            "--local-iterations",
+            "2",
+            "--maxiter",
+            "300",
+        ]
+    )
+    assert rc == 0
+    assert "dist(2)" in capsys.readouterr().out

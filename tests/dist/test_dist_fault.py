@@ -1,0 +1,118 @@
+"""Shard fault injection: detection, recovery, convergence (§4.5, process level)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedules import AsyncConfig
+from repro.dist import DistAsyncSolver, make_shard_plan
+from repro.dist.runtime import DistRuntime
+from repro.partition import make_partition
+
+
+def _kill_once(victim, at):
+    fired = {"done": False}
+
+    def hook(it, runtime):
+        if it == at and not fired["done"]:
+            fired["done"] = True
+            runtime.kill_shard(victim)
+
+    return hook
+
+
+def test_respawn_recovers_killed_shard(small_system, stopping):
+    A, b = small_system
+    solver = DistAsyncSolver(
+        shards=2,
+        local_iterations=2,
+        block_size=32,
+        recovery="respawn",
+        stopping=stopping,
+        fault_injector=_kill_once(victim=1, at=5),
+    )
+    result = solver.solve(A, b)
+    assert result.converged
+    recoveries = result.info["dist"]["recoveries"]
+    assert len(recoveries) == 1
+    event = recoveries[0]
+    assert event["shard"] == 1
+    assert event["cause"] == "died"
+    assert event["action"] == "respawn"
+    assert event["respawn"] == 1
+    # The replacement worker reported a payload of its own.
+    shards = {row["shard"] for row in result.info["dist"]["shards"]}
+    assert shards == {0, 1}
+
+
+def test_reassign_absorbs_killed_shard(small_system, stopping):
+    A, b = small_system
+    solver = DistAsyncSolver(
+        shards=2,
+        local_iterations=2,
+        block_size=32,
+        recovery="reassign",
+        stopping=stopping,
+        fault_injector=_kill_once(victim=1, at=5),
+    )
+    result = solver.solve(A, b)
+    assert result.converged
+    recoveries = result.info["dist"]["recoveries"]
+    assert len(recoveries) == 1
+    event = recoveries[0]
+    assert event["shard"] == 1
+    assert event["cause"] == "died"
+    assert event["action"] == "reassign"
+    assert event["absorbed_by"] == 0
+    # Only the absorber survives to report, and it rebuilt its local
+    # system mid-solve to take over the dead shard's rows.
+    rows = result.info["dist"]["shards"]
+    survivor = [r for r in rows if r["error"] is None and r["sweeps"] > 0]
+    absorber = next(r for r in survivor if r["shard"] == 0)
+    assert absorber["rebuilds"] >= 1
+    assert tuple(absorber["row_range"]) == (0, A.shape[0])
+    # Solution is still correct after the handover.
+    res = float(np.linalg.norm(b - A.matvec(result.x)))
+    assert res <= stopping.threshold(float(np.linalg.norm(b)))
+
+
+def test_recovery_event_lands_in_driver_telemetry(small_system, stopping):
+    A, b = small_system
+    solver = DistAsyncSolver(
+        shards=2,
+        local_iterations=2,
+        block_size=32,
+        recovery="respawn",
+        stopping=stopping,
+        fault_injector=_kill_once(victim=0, at=3),
+    )
+    solver.solve(A, b)
+    events = solver.last_telemetry["driver"]["runs"][0]["events"]
+    kinds = [e["kind"] for e in events]
+    assert "shard-recovery" in kinds
+    ev = next(e for e in events if e["kind"] == "shard-recovery")
+    assert ev["shard"] == 0
+    assert ev["action"] == "respawn"
+
+
+def test_respawn_limit_raises(small_system):
+    A, b = small_system
+    part = make_partition(A, "uniform", block_size=32)
+    plan = make_shard_plan(part, 2)
+    config = AsyncConfig(local_iterations=2, block_size=32)
+
+    def keep_killing(it, runtime):
+        runtime.kill_shard(1)
+
+    runtime = DistRuntime(
+        A,
+        np.asarray(b, dtype=np.float64),
+        plan,
+        config,
+        max_respawns=2,
+        advance_timeout=60.0,
+        fault_injector=keep_killing,
+    )
+    with runtime:
+        with pytest.raises(RuntimeError, match="exceeded 2 respawns"):
+            for it in range(50):
+                runtime.advance(it)

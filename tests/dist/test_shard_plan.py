@@ -1,0 +1,188 @@
+"""Unit tests for the shard plan and the shared placement helper."""
+
+import numpy as np
+import pytest
+
+from repro.dist import ShardPlan, make_shard_plan
+from repro.gpu import device_partition
+from repro.partition import (
+    contiguous_placement,
+    group_ranges,
+    make_partition,
+    placement_telemetry,
+)
+
+
+# --------------------------------------------------------------------- #
+# contiguous_placement
+# --------------------------------------------------------------------- #
+
+
+def _legacy_formula(nblocks, ngroups):
+    return np.minimum((np.arange(nblocks) * ngroups) // nblocks, ngroups - 1).astype(
+        np.int64
+    )
+
+
+@pytest.mark.parametrize(
+    "nblocks,ngroups", [(10, 4), (7, 1), (16, 16), (5, 2), (100, 7), (3, 3)]
+)
+def test_unweighted_matches_legacy_device_formula(nblocks, ngroups):
+    a = contiguous_placement(nblocks, ngroups)
+    assert np.array_equal(a, _legacy_formula(nblocks, ngroups))
+    assert a.dtype == np.int64
+
+
+def test_unweighted_every_group_owns_a_block():
+    for nblocks in range(1, 20):
+        for ngroups in range(1, nblocks + 1):
+            a = contiguous_placement(nblocks, ngroups)
+            assert len(np.unique(a)) == ngroups
+            assert np.all(np.diff(a) >= 0)
+
+
+def test_more_groups_than_blocks_rejected():
+    with pytest.raises(ValueError, match="ngroups must be <= nblocks"):
+        contiguous_placement(2, 4)
+    with pytest.raises(ValueError):
+        contiguous_placement(0, 1)
+
+
+def test_weighted_balances_work():
+    # Front-loaded weights: the first group should take fewer blocks.
+    w = np.array([100.0, 100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+    a = contiguous_placement(8, 2, weights=w)
+    sizes = np.bincount(a)
+    assert len(sizes) == 2 and sizes.sum() == 8
+    loads = [w[a == g].sum() for g in range(2)]
+    uniform = [w[_legacy_formula(8, 2) == g].sum() for g in range(2)]
+    assert max(loads) <= max(uniform)
+
+
+def test_weighted_degenerate_falls_back_to_unweighted():
+    a = contiguous_placement(6, 3, weights=np.zeros(6))
+    assert np.array_equal(a, _legacy_formula(6, 3))
+    # All mass on the first block still gives every group a block.
+    w = np.zeros(6)
+    w[0] = 1.0
+    a = contiguous_placement(6, 3, weights=w)
+    assert len(np.unique(a)) == 3
+
+
+def test_weighted_validation():
+    with pytest.raises(ValueError, match="shape"):
+        contiguous_placement(4, 2, weights=np.ones(3))
+    with pytest.raises(ValueError, match="non-negative"):
+        contiguous_placement(4, 2, weights=np.array([1.0, -1.0, 1.0, 1.0]))
+
+
+# --------------------------------------------------------------------- #
+# group_ranges / placement_telemetry
+# --------------------------------------------------------------------- #
+
+
+def test_group_ranges_roundtrip():
+    a = contiguous_placement(10, 3)
+    ranges = group_ranges(a)
+    assert ranges[0][0] == 0 and ranges[-1][1] == 10
+    for g, (lo, hi) in enumerate(ranges):
+        assert np.all(a[lo:hi] == g)
+
+
+def test_group_ranges_rejects_gaps_and_disorder():
+    with pytest.raises(ValueError, match="non-decreasing"):
+        group_ranges(np.array([0, 1, 0]))
+    with pytest.raises(ValueError, match="at least one block"):
+        group_ranges(np.array([0, 0, 2]))
+
+
+def test_placement_telemetry_shape():
+    t = placement_telemetry(contiguous_placement(10, 4))
+    assert t["ngroups"] == 4
+    assert sum(t["blocks_per_group"]) == 10
+    assert t["group_blocks"][0][0] == 0 and t["group_blocks"][-1][1] == 10
+
+
+def test_placement_telemetry_tolerates_empty_groups():
+    # The simulated-GPU layer allows more devices than blocks.
+    t = placement_telemetry(device_partition(2, 4))
+    assert t["ngroups"] >= 2
+    assert sum(t["blocks_per_group"]) == 2
+
+
+# --------------------------------------------------------------------- #
+# device_partition delegation (gpu layer agreement)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("nblocks,ngpus", [(10, 4), (7, 1), (16, 3), (5, 5), (2, 4)])
+def test_device_partition_bitwise_legacy(nblocks, ngpus):
+    assert np.array_equal(
+        device_partition(nblocks, ngpus), _legacy_formula(nblocks, ngpus)
+    )
+
+
+def test_shard_and_device_placement_agree(small_system):
+    A, _ = small_system
+    part = make_partition(A, "uniform", block_size=16)
+    plan = make_shard_plan(part, 4)
+    assert np.array_equal(plan.assignment, device_partition(part, 4))
+    assert plan.telemetry()["group_blocks"] == placement_telemetry(
+        device_partition(part, 4)
+    )["group_blocks"]
+
+
+# --------------------------------------------------------------------- #
+# make_shard_plan
+# --------------------------------------------------------------------- #
+
+
+def test_plan_rows_cover_system(small_system):
+    A, _ = small_system
+    part = make_partition(A, "uniform", block_size=32)
+    plan = make_shard_plan(part, 3)
+    rows = [plan.row_range(s) for s in range(3)]
+    assert rows[0][0] == 0 and rows[-1][1] == A.shape[0]
+    for (lo0, hi0), (lo1, hi1) in zip(rows, rows[1:]):
+        assert hi0 == lo1  # contiguous, no gaps, no overlap
+
+
+def test_plan_work_placement_balances_nnz(small_system):
+    A, _ = small_system
+    part = make_partition(A, "uniform", block_size=8)
+    plan = make_shard_plan(part, 4, placement="work", A=A)
+    nnz = [
+        A.indptr[plan.row_range(s)[1]] - A.indptr[plan.row_range(s)[0]]
+        for s in range(4)
+    ]
+    blocks_plan = make_shard_plan(part, 4)
+    nnz_blocks = [
+        A.indptr[blocks_plan.row_range(s)[1]] - A.indptr[blocks_plan.row_range(s)[0]]
+        for s in range(4)
+    ]
+    assert max(nnz) <= max(nnz_blocks)
+    assert plan.telemetry()["placement"] == "work"
+
+
+def test_plan_validation(small_system):
+    A, _ = small_system
+    part = make_partition(A, "uniform", block_size=32)
+    with pytest.raises(ValueError, match="placement"):
+        make_shard_plan(part, 2, placement="nope")
+    with pytest.raises(ValueError, match="nshards"):
+        make_shard_plan(part, 0)
+    with pytest.raises(ValueError, match="nshards must be <="):
+        make_shard_plan(part, part.nblocks + 1)
+    with pytest.raises(ValueError, match="needs the matrix"):
+        make_shard_plan(part, 2, placement="work")
+
+
+def test_plan_telemetry_structure(small_system):
+    A, _ = small_system
+    part = make_partition(A, "uniform", block_size=32)
+    plan = make_shard_plan(part, 2)
+    assert isinstance(plan, ShardPlan)
+    t = plan.telemetry()
+    assert t["ngroups"] == 2
+    assert len(t["shard_rows"]) == 2
+    assert t["shard_rows"][0][0] == 0 and t["shard_rows"][-1][1] == A.shape[0]

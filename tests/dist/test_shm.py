@@ -1,0 +1,74 @@
+"""Unit tests for the shared-memory state segment."""
+
+import numpy as np
+import pytest
+
+from repro.dist.shm import SharedState
+
+
+def test_create_attach_roundtrip():
+    owner = SharedState.create(16, 3)
+    try:
+        assert owner.name.startswith("repro-dist-")
+        owner.x[:] = np.arange(16, dtype=np.float64)
+        owner.epochs[:] = [4, 5, 6]
+        owner.set_range(1, 2, 5)
+
+        peer = SharedState.attach(owner.name)
+        try:
+            assert peer.n == 16 and peer.nshards == 3
+            assert np.array_equal(peer.x, np.arange(16.0))
+            assert peer.epochs[2] == 6
+            assert peer.get_range(1) == (2, 5)
+            # Writes travel the other way too.
+            peer.x[0] = -1.0
+            assert owner.x[0] == -1.0
+        finally:
+            peer.close()
+    finally:
+        owner.close()
+        owner.unlink()
+
+
+def test_stop_and_target_flags():
+    state = SharedState.create(4, 2)
+    try:
+        assert not state.stop
+        assert state.target == 0
+        state.publish_target(7)
+        assert state.target == 7
+        state.request_stop()
+        assert state.stop
+    finally:
+        state.close()
+        state.unlink()
+
+
+def test_live_shards_and_min_epoch():
+    state = SharedState.create(4, 3)
+    try:
+        state.epochs[:] = [10, 3, 7]
+        assert state.min_live_epoch() == 3
+        state.alive[1] = 0
+        assert list(state.live_shards()) == [0, 2]
+        assert state.min_live_epoch() == 7
+        state.alive[:] = 0
+        assert state.min_live_epoch() == 0
+    finally:
+        state.close()
+        state.unlink()
+
+
+def test_unlink_is_owner_only_and_idempotent():
+    owner = SharedState.create(4, 1)
+    peer = SharedState.attach(owner.name)
+    peer.close()
+    peer.unlink()  # non-owner: must be a no-op
+    # Segment still reachable after the peer's unlink attempt.
+    check = SharedState.attach(owner.name)
+    check.close()
+    owner.close()
+    owner.unlink()
+    owner.unlink()  # idempotent
+    with pytest.raises(FileNotFoundError):
+        SharedState.attach(owner.name)

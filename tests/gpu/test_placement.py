@@ -1,0 +1,77 @@
+"""Device placement telemetry: the gpu and dist layers share one map."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig
+from repro.gpu import MultiDeviceEngine, device_partition
+from repro.partition import contiguous_placement, make_partition, placement_telemetry
+from repro.runtime import StoppingCriterion
+from repro.runtime.recorder import RunRecorder
+from repro.sparse import BlockRowView
+
+
+def test_device_partition_delegates_to_shared_helper():
+    for nblocks, ngpus in [(10, 4), (7, 1), (16, 3), (6, 6)]:
+        assert np.array_equal(
+            device_partition(nblocks, ngpus),
+            contiguous_placement(nblocks, ngpus),
+        )
+
+
+def test_device_partition_accepts_partition_object(small_spd):
+    part = make_partition(small_spd, "uniform", block_size=10)
+    assert np.array_equal(
+        device_partition(part, 3), device_partition(part.nblocks, 3)
+    )
+
+
+def test_more_gpus_than_blocks_keeps_historical_spread():
+    # The shared helper insists every group owns a block; the simulated
+    # layer allows surplus devices, so this edge stays on the old formula.
+    p = device_partition(2, 4)
+    assert np.array_equal(
+        p, np.minimum((np.arange(2) * 4) // 2, 3).astype(np.int64)
+    )
+
+
+def test_engine_device_map_matches_placement_telemetry(small_spd):
+    cfg = AsyncConfig(local_iterations=2, block_size=10, seed=0)
+    engine = MultiDeviceEngine(BlockRowView(small_spd, block_size=10), np.ones(60), cfg, 3)
+    assert engine.device_map() == placement_telemetry(engine.assignment)
+    assert engine.device_map()["ngroups"] == 3
+
+
+def test_run_annotates_device_map(small_spd):
+    b = small_spd.matvec(np.ones(60))
+    cfg = AsyncConfig(local_iterations=2, block_size=10, seed=1)
+    engine = MultiDeviceEngine(BlockRowView(small_spd, block_size=10), b, cfg, 2)
+    recorder = RunRecorder()
+    result = engine.run(
+        stopping=StoppingCriterion(tol=1e-8, maxiter=100), recorder=recorder
+    )
+    assert result.info["ngpus"] == 2
+    assert result.info["device_map"] == engine.device_map()
+    run = recorder.to_dict()["runs"][0]
+    assert run["annotations"]["device_map"] == engine.device_map()
+    assert run["annotations"]["ngpus"] == 2
+
+
+def test_device_map_shape_matches_dist_shard_map(small_spd):
+    # Both layers annotate the exact structure placement_telemetry emits,
+    # so a telemetry consumer can line them up key for key.
+    from repro.dist import make_shard_plan
+
+    part = make_partition(small_spd, "uniform", block_size=10)
+    plan = make_shard_plan(part, 2)
+    engine = MultiDeviceEngine(
+        BlockRowView(small_spd, block_size=10),
+        np.ones(60),
+        AsyncConfig(local_iterations=1, block_size=10),
+        2,
+    )
+    shard_map = plan.telemetry()
+    device_map = engine.device_map()
+    assert set(device_map) <= set(shard_map)
+    assert shard_map["group_blocks"] == device_map["group_blocks"]
+    assert shard_map["blocks_per_group"] == device_map["blocks_per_group"]

@@ -1,0 +1,126 @@
+"""Threaded stress test of the JobQueue's eviction/expiry accounting.
+
+The queue is documented "not thread-safe by design" — callers that share
+it across threads must serialise access themselves.  This test does
+exactly that (one external lock around every queue call) and hammers the
+two racy admission paths at once: overflow eviction by higher-priority
+arrivals and queue-wait timeout expiry.  The invariant under test is the
+accounting one: every submitted job ends with exactly one fate —
+accepted-then-admitted, accepted-then-expired, evicted, or rejected —
+and the queue never exceeds its bound.
+"""
+
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.matrices import trefethen
+from repro.serve.jobs import JobQueue, SolveRequest, _Job
+
+N_SUBMITTERS = 4
+JOBS_PER_SUBMITTER = 60
+MAX_QUEUE = 8
+
+
+@pytest.fixture(scope="module")
+def tiny_system():
+    A = trefethen(16)
+    return A, np.ones(A.shape[0])
+
+
+def test_concurrent_submit_expire_admit_accounting(tiny_system):
+    A, b = tiny_system
+    queue = JobQueue(max_queue=MAX_QUEUE)
+    lock = threading.Lock()
+
+    fates = {}  # request_id -> "rejected" | "evicted" | "expired" | "admitted"
+    fates_lock = threading.Lock()
+    submitted = []
+    overflow_seen = threading.Event()
+    expiry_seen = threading.Event()
+    bound_violations = []
+    eviction_violations = []
+    done = threading.Event()
+
+    def record_fate(request_id, fate):
+        with fates_lock:
+            assert request_id not in fates, (
+                f"{request_id} got a second fate: {fates[request_id]} then {fate}"
+            )
+            fates[request_id] = fate
+
+    def submitter(seed):
+        rng = random.Random(seed)
+        for _ in range(JOBS_PER_SUBMITTER):
+            req = SolveRequest(
+                A,
+                b,
+                priority=rng.randrange(0, 10),
+                # Short but nonzero timeouts so expiry genuinely races
+                # with eviction; a few immortal jobs mix in.
+                timeout=rng.choice([0.001, 0.005, 0.02, None]),
+            )
+            job = _Job(request=req, seq=0, submitted_at=time.monotonic())
+            with lock:
+                bounced = queue.push(job)
+                if len(queue) > MAX_QUEUE:
+                    bound_violations.append(len(queue))
+            submitted.append(req.request_id)
+            if bounced is job:
+                record_fate(req.request_id, "rejected")
+            elif bounced is not None:
+                overflow_seen.set()
+                if not (bounced.request.priority < req.priority):
+                    eviction_violations.append(
+                        (bounced.request.priority, req.priority)
+                    )
+                record_fate(bounced.request.request_id, "evicted")
+            rng.random() < 0.5 and time.sleep(0)  # encourage interleaving
+
+    def pump():
+        while not done.is_set() or len(queue):
+            with lock:
+                expired = queue.expire(time.monotonic())
+                batch = queue.admit(max_batch=3)
+            for j in expired:
+                expiry_seen.set()
+                record_fate(j.request.request_id, "expired")
+            for j in batch:
+                record_fate(j.request.request_id, "admitted")
+            time.sleep(0.002)
+
+    threads = [
+        threading.Thread(target=submitter, args=(1000 + i,))
+        for i in range(N_SUBMITTERS)
+    ]
+    pumper = threading.Thread(target=pump)
+    pumper.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    done.set()
+    pumper.join(timeout=30)
+    assert not pumper.is_alive()
+
+    # Drain anything the pump missed after `done` flipped.
+    leftovers = queue.admit(max_batch=10**9)
+    for j in leftovers:
+        record_fate(j.request.request_id, "admitted")
+
+    assert len(queue) == 0
+    assert not bound_violations, f"queue exceeded bound: {bound_violations}"
+    assert not eviction_violations, (
+        f"evicted jobs that were not outranked: {eviction_violations}"
+    )
+    # Every submitted job has exactly one fate (record_fate asserts
+    # uniqueness; here we assert totality).
+    assert len(submitted) == N_SUBMITTERS * JOBS_PER_SUBMITTER
+    missing = [rid for rid in submitted if rid not in fates]
+    assert not missing, f"jobs with no terminal fate: {missing}"
+    # The stress actually exercised both racy paths.
+    assert overflow_seen.is_set(), "no overflow eviction occurred; weaken MAX_QUEUE"
+    assert expiry_seen.is_set(), "no timeout expiry occurred; shrink timeouts"

@@ -1,0 +1,37 @@
+"""The ``sparse.blocked`` partition shims: deprecated but bitwise-faithful."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.matrices import trefethen
+from repro.partition.rows import partition_rows as canonical_rows
+from repro.partition.rows import partition_rows_by_work as canonical_work
+from repro.sparse.blocked import partition_rows, partition_rows_by_work
+
+
+def test_partition_rows_warns_and_delegates():
+    with pytest.warns(DeprecationWarning, match="moved to repro.partition"):
+        legacy = partition_rows(100, 32)
+    assert np.array_equal(legacy, canonical_rows(100, 32))
+
+
+def test_partition_rows_nblocks_keyword_delegates():
+    with pytest.warns(DeprecationWarning, match="moved to repro.partition"):
+        legacy = partition_rows(97, nblocks=5)
+    assert np.array_equal(legacy, canonical_rows(97, nblocks=5))
+
+
+def test_partition_rows_by_work_warns_and_delegates():
+    A = trefethen(240)
+    with pytest.warns(DeprecationWarning, match="moved to repro.partition"):
+        legacy = partition_rows_by_work(A, 6)
+    assert np.array_equal(legacy, canonical_work(A, 6))
+
+
+def test_canonical_functions_do_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        canonical_rows(100, 32)
+        canonical_work(trefethen(240), 4)
