@@ -39,12 +39,13 @@ SOLVER_CHOICES = (
 
 
 def _load_matrix(spec: str):
-    """A suite name or a MatrixMarket path."""
-    from .matrices import SUITE_NAMES, get_matrix, read_matrix_market
+    """A registered matrix name or a MatrixMarket path."""
+    from .matrices import get_matrix, read_matrix_market
 
-    if spec in SUITE_NAMES:
+    try:
         return get_matrix(spec)
-    return read_matrix_market(spec)
+    except KeyError:
+        return read_matrix_market(spec)
 
 
 def _build_solver(args, recorder=None):
@@ -324,7 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument(
         "--backend",
-        choices=("auto", "fused", "reference"),
+        choices=("auto", "stencil", "fused", "reference"),
         default="auto",
         help="sweep execution backend for --solver=async (timing only; "
         "iterates are bitwise identical wherever a backend may run)",
@@ -399,7 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--tol", type=float, default=1e-10, help="default stopping tolerance")
     pv.add_argument("--maxiter", type=int, default=1000, help="default sweep budget")
     pv.add_argument(
-        "--backend", choices=("auto", "fused", "reference"), default="auto"
+        "--backend", choices=("auto", "stencil", "fused", "reference"), default="auto"
     )
     pv.add_argument(
         "--partition",
@@ -423,7 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     pv.set_defaults(func=_cmd_serve)
 
     pe = sub.add_parser("experiment", help="regenerate a paper artifact")
-    pe.add_argument("id", help="artifact id (T1..F11, X1..X5, A1..A5), 'list', or 'all'")
+    pe.add_argument("id", help="artifact id (T1..F11, X1..X7, A1..A5), 'list', or 'all'")
     pe.add_argument("--outdir", default=None, help="output directory for 'all'")
     pe.add_argument("--full", action="store_true", help="paper-scale parameters")
     pe.add_argument("--json", action="store_true", help="emit JSON instead of tables")

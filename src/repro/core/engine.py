@@ -114,7 +114,8 @@ class AsyncEngine:
         # recovery, repro.core.recovery) — exempt from any future fault.
         self._healed = np.zeros(view.n, dtype=bool)
         # Compile (or reuse) the view's sweep plan and dispatch the sweep
-        # executor: fused whole-system kernels where exact, the per-block
+        # executor: matrix-free stencil kernels where structure detection
+        # succeeds, fused whole-system kernels where exact, the per-block
         # reference loop everywhere else (repro.perf).
         self.plan = compile_sweep_plan(view)
         self.backend = resolve_backend(
@@ -122,6 +123,7 @@ class AsyncEngine:
             self.scheduler,
             has_fault=fault is not None,
             rhs_fold_safe=rhs_preserves_fold(self.b),
+            plan=self.plan,
         )
         self._executor = make_executor(self.backend, self)
 
@@ -411,10 +413,14 @@ class BatchedAsyncEngine:
         # bitwise the sequential run regardless of which engine fused.
         self._fold_safe = rhs_preserves_fold(self.b)
         self.backend = resolve_backend(
-            config, self.schedulers[0], rhs_fold_safe=self._fold_safe
+            config, self.schedulers[0], rhs_fold_safe=self._fold_safe, plan=self.plan
         )
-        self.plan.warm_fused()
-        if self.backend != "fused":
+        self._stencil_kernels = (
+            self.plan.stencil_kernels() if self.backend == "stencil" else None
+        )
+        if self.backend != "stencil":
+            self.plan.warm_fused()
+        if self.backend == "reference":
             self.plan.warm_reference()
 
     #: Groups smaller than this are folded into one fused per-position
@@ -499,8 +505,12 @@ class BatchedAsyncEngine:
         if out is None or out.shape[0] < len(reps):
             out = self._ext_buf = np.empty((len(reps), self.view.n))
         out = out[: len(reps)]
-        for i, r in enumerate(reps):
-            self._E.matvec(S[r], out=out[i])
+        if self._stencil_kernels is not None:
+            for i, r in enumerate(reps):
+                self._stencil_kernels.apply_external(S[r], out[i])
+        else:
+            for i, r in enumerate(reps):
+                self._E.matvec(S[r], out=out[i])
         return out
 
     def sweep(self, X: np.ndarray, replicas: Optional[np.ndarray] = None) -> np.ndarray:
@@ -572,7 +582,7 @@ class BatchedAsyncEngine:
                         defer[i, pos] = rng.random() < cfg.deferred_write_prob
 
         all_live = bool(np.all(gamma >= 1.0))
-        collapse = self.backend == "fused"
+        collapse = self.backend in ("fused", "stencil")
         S = X if all_live else X.copy()
         EXT = self._base_external(S, reps) if (collapse or not all_live) else None
 
@@ -587,14 +597,22 @@ class BatchedAsyncEngine:
             # (deferred writes land by sweep end on disjoint rows — the
             # final state is identical).
             s_all = (self.B[reps] if self.multi_rhs else self.b) - EXT
-            Z = local_jacobi_sweeps(
-                view.local_offdiag_matrix(),
-                view.diagonal_vector(),
-                s_all,
-                X[reps],
-                cfg.local_iterations,
-                omega=cfg.omega,
-            )
+            if self._stencil_kernels is not None:
+                # Stacked stencil variant: the weight planes broadcast over
+                # the replica axis, so the (R, n) update is the 1-D slice
+                # arithmetic per replica row — bitwise the CSR collapse.
+                Z = self._stencil_kernels.local_sweeps(
+                    s_all, X[reps], cfg.local_iterations, omega=cfg.omega
+                )
+            else:
+                Z = local_jacobi_sweeps(
+                    view.local_offdiag_matrix(),
+                    view.diagonal_vector(),
+                    s_all,
+                    X[reps],
+                    cfg.local_iterations,
+                    omega=cfg.omega,
+                )
             X[reps] = Z
             self.update_counts[reps] += 1
             self.sweep_index += 1

@@ -80,11 +80,13 @@ def replica_rngs(seed0: int, nreplicas: int) -> List[np.random.Generator]:
 UPDATE_ORDERS = ("synchronous", "sequential", "reversed", "random", "gpu")
 
 #: Recognised sweep-execution backends (see :mod:`repro.perf`):
-#: ``"auto"`` fuses whole sweeps whenever that is exact for the configured
-#: regime and falls back to the per-block reference loop otherwise;
-#: ``"fused"`` demands the fused path (an error where it is not exact);
+#: ``"auto"`` prefers the matrix-free stencil path where structure
+#: detection succeeds, fuses whole sweeps whenever that is exact for the
+#: configured regime, and falls back to the per-block reference loop
+#: otherwise; ``"stencil"``/``"fused"`` demand their path (an error where
+#: it is not exact, or — stencil — where detection fails);
 #: ``"reference"`` forces the per-block loop everywhere.
-BACKENDS = ("auto", "fused", "reference")
+BACKENDS = ("auto", "stencil", "fused", "reference")
 
 
 @dataclass(frozen=True)

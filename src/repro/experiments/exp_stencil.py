@@ -1,0 +1,106 @@
+"""X7 — extension: matrix-free stencil backend vs fused vs reference.
+
+Per-sweep wall time of the three sweep executors across block counts on a
+3-D constant-coefficient Laplacian (the workload family of
+Rodriguez/Philip's block-relaxation stencil study), plus the structure
+detector's verdict across the matrix suite.  Every timing row is gated by
+a bitwise-equality assertion between the three executors' iterates — the
+backends are execution strategies, never approximations — so the table
+measures exactly one thing: what the matrix-free kernels buy over CSR on
+the same arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import AsyncEngine
+from ..core.schedules import AsyncConfig
+from ..matrices import default_rhs, get_matrix, stencil_laplacian_3d
+from ..perf import compile_sweep_plan
+from ..sparse import BlockRowView
+from .report import ExperimentResult, TableArtifact
+
+__all__ = ["run"]
+
+#: Snapshot-read regime: every executor is allowed, all bitwise-equal.
+_REGIME = dict(order="gpu", stale_read_prob=1.0, seed=0, local_iterations=2)
+
+
+def _per_sweep(A, b, backend: str, nblocks: int, sweeps: int) -> tuple:
+    cfg = AsyncConfig(backend=backend, **_REGIME)
+    view = BlockRowView(A, block_size=max(1, A.shape[0] // nblocks))
+    eng = AsyncEngine(view, b, cfg)
+    x = np.zeros(A.shape[0])
+    eng.sweep(x)  # warm: plans compiled, buffers mapped
+    t0 = time.perf_counter()
+    for _ in range(sweeps):
+        eng.sweep(x)
+    return (time.perf_counter() - t0) / sweeps, x, eng.backend
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Time stencil vs fused vs reference sweeps across block counts."""
+    grid = 24 if quick else 64
+    sweeps = 6 if quick else 20
+    block_counts = [16, 64, 256] if quick else [16, 64, 256, 1024]
+    A = stencil_laplacian_3d(grid)
+    b = default_rhs(A)
+
+    rows = []
+    for nb in block_counts:
+        t_ref, x_ref, _ = _per_sweep(A, b, "reference", nb, sweeps)
+        t_fus, x_fus, _ = _per_sweep(A, b, "fused", nb, sweeps)
+        t_ste, x_ste, resolved = _per_sweep(A, b, "auto", nb, sweeps)
+        assert resolved == "stencil", f"auto resolved {resolved!r} at {nb} blocks"
+        assert np.array_equal(x_ste, x_ref) and np.array_equal(x_ste, x_fus)
+        rows.append([nb, t_ref, t_fus, t_ste, t_ref / t_ste, t_fus / t_ste])
+    timing = TableArtifact(
+        title=(
+            f"Per-sweep seconds, {grid}^3 7-point Laplacian "
+            f"(async-({_REGIME['local_iterations']}), bitwise-equal iterates)"
+        ),
+        headers=["blocks", "reference", "fused", "stencil", "ref/stencil", "fused/stencil"],
+        rows=rows,
+    )
+
+    suite = ["fv1", "Trefethen_2000", "lap3d7pt_32", "lap3d7pt_aniso_32"]
+    if not quick:
+        suite = ["fv1", "fv2", "fv3", "Chem97ZtZ", "Trefethen_2000",
+                 "lap3d7pt_32", "lap3d19pt_32", "lap3d27pt_24", "lap3d7pt_aniso_32"]
+    det_rows = []
+    for name in suite:
+        M = get_matrix(name)
+        view = BlockRowView(M, block_size=max(1, M.shape[0] // 64))
+        desc, reason = compile_sweep_plan(view).stencil
+        det_rows.append(
+            [
+                name,
+                "yes" if desc is not None else "no",
+                len(desc.offsets) if desc else "-",
+                desc.n_classes if desc else "-",
+                "x".join(map(str, desc.grid_shape)) if desc and desc.grid_shape else "-",
+                "" if desc else reason,
+            ]
+        )
+    detection = TableArtifact(
+        title="Structure detection across the matrix suite (64-block uniform views)",
+        headers=["matrix", "stencil", "offsets", "classes", "grid", "fallback reason"],
+        rows=det_rows,
+    )
+
+    speedups = {f"fused_over_stencil_{nb}": r[5] for nb, r in zip(block_counts, rows)}
+    notes = [
+        "backend='auto' resolves stencil > fused > reference: the matrix-free "
+        "kernels engage exactly where the fused sweep is exact AND structure "
+        "detection succeeds; general CSR matrices fall back with the reason "
+        "recorded in partition telemetry.",
+        "The stencil advantage grows with block count: CSR pays per-block "
+        "gather bookkeeping while the slice kernels only re-split weight "
+        "planes at block boundaries.",
+    ]
+    return ExperimentResult(
+        "X7", "Extension: matrix-free stencil backend", [timing, detection], speedups, notes
+    )

@@ -47,6 +47,7 @@ def _build() -> Dict[str, Experiment]:
         exp_fig8,
         exp_fig9,
         exp_fig11,
+        exp_stencil,
         exp_table1,
         exp_table4,
         exp_threaded,
@@ -72,6 +73,7 @@ def _build() -> Dict[str, Experiment]:
         Experiment("X4", "Extension: silent-error detection", exp_extensions.run_x4),
         Experiment("X5", "Extension: seeded model vs real threads", exp_threaded.run),
         Experiment("X6", "Extension: multiprocess sharding scaling", exp_dist.run),
+        Experiment("X7", "Extension: matrix-free stencil backend", exp_stencil.run),
         Experiment("A1", "Ablations: staleness / block size / order / sync-vs-async", exp_ablations.run),
     ]
     reg = {e.id: e for e in entries}

@@ -22,6 +22,26 @@ from ..sparse import COOMatrix, CSRMatrix
 __all__ = ["stencil_laplacian_3d", "STENCILS_3D"]
 
 
+def _stencil_19pt() -> Dict[Tuple[int, int, int], float]:
+    """19-point (face + edge neighbour) Laplacian stencil.
+
+    The standard fourth-order compact form divided by 6: center 4, face
+    −1/3, edge −1/6, corners absent — zero row-sum excess like the other
+    stencils, so Dirichlet clipping keeps the operator diagonally
+    dominant and SPD.
+    """
+    legs: Dict[Tuple[int, int, int], float] = {}
+    for dx, dy, dz in product((-1, 0, 1), repeat=3):
+        dist = abs(dx) + abs(dy) + abs(dz)
+        if dist == 0:
+            legs[(0, 0, 0)] = 4.0
+        elif dist == 1:
+            legs[(dx, dy, dz)] = -1.0 / 3.0
+        elif dist == 2:
+            legs[(dx, dy, dz)] = -1.0 / 6.0
+    return legs
+
+
 def _stencil_27pt() -> Dict[Tuple[int, int, int], float]:
     """Trilinear (Q1) FEM Laplacian stencil on the unit cube mesh.
 
@@ -53,6 +73,7 @@ STENCILS_3D: Dict[str, Dict[Tuple[int, int, int], float]] = {
         (0, 0, -1): -1.0,
         (0, 0, 1): -1.0,
     },
+    "19pt": _stencil_19pt(),
     "27pt": _stencil_27pt(),
 }
 
@@ -65,6 +86,7 @@ def stencil_laplacian_3d(
     stencil: str = "7pt",
     shift: float = 0.0,
     coefficient: Optional[np.ndarray] = None,
+    anisotropy: Optional[Tuple[float, float, float]] = None,
 ) -> CSRMatrix:
     """Assemble a 3-D stencil operator on an ``nx × ny × nz`` grid.
 
@@ -74,6 +96,13 @@ def stencil_laplacian_3d(
     optional positive *coefficient* field applies the symmetric scaling
     ``sqrt(c_i c_j)`` per entry.  Rows are ordered lexicographically
     (x-major, then y, then z).
+
+    *anisotropy* ``(ex, ey, ez)`` scales each off-center leg by
+    ``ex**|dx| * ey**|dy| * ez**|dz|`` and recomputes the center so the
+    row-sum excess stays zero — the standard anisotropic-diffusion
+    stencil family (still constant-coefficient, hence stencil-regular
+    for the matrix-free backend, but with strongly directional
+    coupling).
     """
     ny = nx if ny is None else ny
     nz = nx if nz is None else nz
@@ -83,6 +112,16 @@ def stencil_laplacian_3d(
         legs = STENCILS_3D[stencil]
     except KeyError:
         raise ValueError(f"unknown stencil {stencil!r}; options: {sorted(STENCILS_3D)}") from None
+    if anisotropy is not None:
+        ex, ey, ez = (float(e) for e in anisotropy)
+        if min(ex, ey, ez) <= 0.0:
+            raise ValueError("anisotropy factors must be strictly positive")
+        legs = {
+            (dx, dy, dz): a * ex ** abs(dx) * ey ** abs(dy) * ez ** abs(dz)
+            for (dx, dy, dz), a in legs.items()
+            if (dx, dy, dz) != (0, 0, 0)
+        }
+        legs[(0, 0, 0)] = -sum(legs.values())
     n = nx * ny * nz
     ix, iy, iz = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij")
     ix, iy, iz = ix.ravel(), iy.ravel(), iz.ravel()

@@ -17,6 +17,7 @@ from .._util import RNGLike, as_rng
 from ..sparse import CSRMatrix
 from .chem import chem97ztz_like
 from .fem import fv_like
+from .grids3d import stencil_laplacian_3d
 from .structural import s1rmt3m1_like
 from .trefethen import trefethen
 
@@ -66,6 +67,12 @@ _GENERATORS: Dict[str, Callable[[], CSRMatrix]] = {
     "s1rmt3m1": lambda: s1rmt3m1_like(),
     "Trefethen_2000": lambda: trefethen(2000),
     "Trefethen_20000": lambda: trefethen(20000),
+    # 3-D constant-coefficient stencil family (beyond the paper's Table 1):
+    # the stencil-regular workloads the matrix-free backend targets.
+    "lap3d7pt_32": lambda: stencil_laplacian_3d(32),
+    "lap3d19pt_32": lambda: stencil_laplacian_3d(32, stencil="19pt"),
+    "lap3d27pt_24": lambda: stencil_laplacian_3d(24, stencil="27pt"),
+    "lap3d7pt_aniso_32": lambda: stencil_laplacian_3d(32, anisotropy=(1.0, 1.0, 0.01)),
 }
 
 _CACHE: Dict[str, CSRMatrix] = {}
@@ -75,10 +82,12 @@ def get_matrix(name: str, *, cache: bool = True) -> CSRMatrix:
     """Build (or fetch from the in-process cache) a suite matrix by name.
 
     Names are the UFMC names of the paper ("Chem97ZtZ", "fv1", "fv2",
-    "fv3", "s1rmt3m1", "Trefethen_2000", "Trefethen_20000").  Generators
-    are deterministic, so cached and fresh instances are identical; pass
-    ``cache=False`` to force regeneration (the cached matrix is shared —
-    callers must not mutate it).
+    "fv3", "s1rmt3m1", "Trefethen_2000", "Trefethen_20000") plus the
+    3-D stencil family ("lap3d7pt_32", "lap3d19pt_32", "lap3d27pt_24",
+    "lap3d7pt_aniso_32").  Generators are deterministic, so cached and
+    fresh instances are identical; pass ``cache=False`` to force
+    regeneration (the cached matrix is shared — callers must not mutate
+    it).
     """
     if name not in _GENERATORS:
         raise KeyError(f"unknown suite matrix {name!r}; options: {list(_GENERATORS)}")

@@ -6,11 +6,15 @@ sweep computes; this subpackage decides *how* it executes:
 * :class:`SweepPlan` (:mod:`repro.perf.plan`) compiles a block
   decomposition, once, into the precomputed structures every execution
   path consumes — warmed ELL gather plans, scatter segment ids, stacked
-  whole-system matrices;
-* :mod:`repro.perf.backends` dispatches each engine to a fused
-  whole-system executor wherever that is bitwise-exact for the configured
-  asynchronism regime, and to the (plan-accelerated) per-block reference
-  loop everywhere else.
+  whole-system matrices, and (on demand) the stencil structure detection
+  outcome;
+* :mod:`repro.perf.stencil` detects stencil-regular systems and compiles
+  their matrix-free offset-shifted sweep kernels;
+* :mod:`repro.perf.backends` dispatches each engine to the matrix-free
+  stencil executor where detection succeeds, to a fused whole-system
+  executor wherever that is bitwise-exact for the configured asynchronism
+  regime, and to the (plan-accelerated) per-block reference loop
+  everywhere else.
 
 This mirrors how production asynchronous-solver stacks are organised
 (e.g. the backend-dispatched executors over precompiled per-subdomain
@@ -26,11 +30,14 @@ from ..core.schedules import BACKENDS
 from .backends import (
     FusedSweepExecutor,
     ReferenceSweepExecutor,
+    StencilSweepExecutor,
+    consume_schedule_draws,
     fused_sweep_exact,
     make_executor,
     resolve_backend,
 )
 from .plan import SweepPlan, compile_sweep_plan, plan_compile_count, rhs_preserves_fold
+from .stencil import StencilDescriptor, StencilKernels, detect_stencil
 
 __all__ = [
     "SweepPlan",
@@ -40,7 +47,12 @@ __all__ = [
     "BACKENDS",
     "fused_sweep_exact",
     "resolve_backend",
+    "consume_schedule_draws",
     "make_executor",
     "FusedSweepExecutor",
     "ReferenceSweepExecutor",
+    "StencilSweepExecutor",
+    "StencilDescriptor",
+    "StencilKernels",
+    "detect_stencil",
 ]

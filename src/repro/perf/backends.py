@@ -1,7 +1,7 @@
-"""Sweep-execution backends: fused whole-system kernels vs the block loop.
+"""Sweep-execution backends: whole-system kernels vs the block loop.
 
-Two executors advance :class:`repro.core.AsyncEngine`'s iterate through one
-global sweep:
+Three executors advance :class:`repro.core.AsyncEngine`'s iterate through
+one global sweep:
 
 * :class:`ReferenceSweepExecutor` — the per-block Python loop, semantics
   for every regime (mixed per-entry races, faults, partial deferred
@@ -14,9 +14,15 @@ global sweep:
   right-hand-side assembly, *k* stacked local Jacobi sweeps.  No Python
   loop over blocks at all, which is what removes the interpreter floor
   from fine decompositions (the regime of Figure 8 / Table 5).
+* :class:`StencilSweepExecutor` — the matrix-free variant of the fused
+  sweep for stencil-regular systems (:mod:`repro.perf.stencil`): every
+  matrix product is a handful of offset-shifted slice (or small gather)
+  multiply-adds on the flat iterate — no CSR index gather at all.
+  Engages only when structure detection on the plan succeeds.
 
-**Exactness contract.** The fused path engages only where its result is
-bitwise the reference loop's — same iterates *and* same generator state:
+**Exactness contract.** The fused and stencil paths engage only where
+their result is bitwise the reference loop's — same iterates *and* same
+generator state:
 
 * **snapshot reads** (γ ≡ 0): the ``"synchronous"`` order, or full
   staleness with no pipeline tail.  No block observes another's
@@ -53,8 +59,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "fused_sweep_exact",
     "resolve_backend",
+    "consume_schedule_draws",
     "FusedSweepExecutor",
     "ReferenceSweepExecutor",
+    "StencilSweepExecutor",
     "make_executor",
 ]
 
@@ -89,14 +97,20 @@ def resolve_backend(
     *,
     has_fault: bool = False,
     rhs_fold_safe: bool = True,
+    plan: "SweepPlan" = None,
 ) -> str:
     """Resolve ``config.backend`` to the executor actually used.
 
-    ``"auto"`` picks the fused path exactly where it is exact;
-    ``"reference"`` always honours the request; ``"fused"`` raises where
-    fusion would change the iterates — the backends are execution
-    strategies, never approximations, and a silent fallback would make
-    ``--backend=fused`` timings lie.
+    ``"auto"`` prefers **stencil > fused > reference**: in the whole-sweep
+    exact regimes it runs the matrix-free stencil executor when structure
+    detection on *plan* succeeds (:mod:`repro.perf.stencil`), the fused
+    CSR path otherwise, and the per-block reference loop outside those
+    regimes.  ``"reference"`` always honours the request; ``"fused"`` /
+    ``"stencil"`` raise where they would change the iterates — the
+    backends are execution strategies, never approximations, and a silent
+    fallback would make ``--backend=fused`` timings lie.  *plan* is the
+    compiled :class:`repro.perf.SweepPlan`; without one (legacy callers)
+    stencil dispatch is simply never considered.
     """
     requested = config.backend
     if requested == "reference":
@@ -113,7 +127,58 @@ def resolve_backend(
                 "backend='auto' to fall back to the reference loop"
             )
         return "fused"
-    return "fused" if exact else "reference"
+    if requested == "stencil":
+        if not exact:
+            raise ValueError(
+                "backend='stencil' requested, but whole-sweep execution is not "
+                "exact for this regime (it requires snapshot reads [gamma == 0 "
+                "everywhere] or all-deferred writes, and no fault scenario); "
+                "use backend='auto' to fall back"
+            )
+        if plan is None:
+            raise ValueError(
+                "backend='stencil' requires a compiled sweep plan for structure "
+                "detection"
+            )
+        desc, reason = plan.stencil
+        if desc is None:
+            raise ValueError(
+                f"backend='stencil' requested, but structure detection failed: "
+                f"{reason}; use backend='auto' to fall back to the fused/"
+                "reference paths"
+            )
+        return "stencil"
+    # "auto"
+    if not exact:
+        return "reference"
+    if plan is not None and plan.stencil[0] is not None:
+        return "stencil"
+    return "fused"
+
+
+def consume_schedule_draws(engine: "AsyncEngine", plan: SweepPlan):
+    """Draw the sweep's schedule plan and consume the reference loop's RNG.
+
+    Shared by the whole-sweep executors (fused, stencil): the reference
+    loop's per-block freshness/defer draws are consumed in one
+    ``Generator.random`` call — same double count, same bit stream, same
+    final state (``random`` fills doubles sequentially).  The values are
+    irrelevant: in every whole-sweep-exact regime the drawn races/defers
+    cannot change the iterate.  Returns the sweep's block order.
+    """
+    eng = engine
+    cfg = eng.config
+    rng = eng.rng
+    order, gamma = eng.scheduler.plan_for_sweep(eng.sweep_index, rng)
+    ndraws = 0
+    mixed = (gamma > 0.0) & (gamma < 1.0)
+    if mixed.any():
+        ndraws += int(plan.ennz[order[mixed]].sum())
+    if cfg.deferred_write_prob > 0.0:
+        ndraws += len(order)
+    if ndraws:
+        rng.random(ndraws)
+    return order
 
 
 class FusedSweepExecutor:
@@ -130,21 +195,7 @@ class FusedSweepExecutor:
         eng = self.engine
         cfg = eng.config
         plan = self.plan
-        rng = eng.rng
-
-        order, gamma = eng.scheduler.plan_for_sweep(eng.sweep_index, rng)
-        # Consume the reference loop's per-block freshness/defer draws in
-        # one call: same double count, same bit stream, same final state.
-        # The values are irrelevant here — in every fused regime the drawn
-        # races/defers cannot change the iterate.
-        ndraws = 0
-        mixed = (gamma > 0.0) & (gamma < 1.0)
-        if mixed.any():
-            ndraws += int(plan.ennz[order[mixed]].sum())
-        if cfg.deferred_write_prob > 0.0:
-            ndraws += len(order)
-        if ndraws:
-            rng.random(ndraws)
+        consume_schedule_draws(eng, plan)
 
         # The whole sweep: one stacked external gather, one right-hand-side
         # assembly, k stacked block-diagonal Jacobi sweeps.  Bitwise the
@@ -157,6 +208,42 @@ class FusedSweepExecutor:
             plan.local_off, plan.diag, s, x, cfg.local_iterations, omega=cfg.omega
         )
         x[:] = z
+        eng.update_counts += 1
+        eng.sweep_index += 1
+        return x
+
+
+class StencilSweepExecutor:
+    """One global sweep as matrix-free offset-shifted slice arithmetic.
+
+    The structural twin of :class:`FusedSweepExecutor` — same two-stage
+    update, same draw consumption, same exactness regimes — with every
+    matrix product replaced by the compiled diagonal planes of
+    :class:`repro.perf.stencil.StencilKernels`.  Bitwise the fused path
+    (and hence the reference loop): the planes apply in ascending-offset
+    order, which is exactly the left-to-right per-row entry order the CSR
+    row-panel kernels sum in, and weights come from the actual matrix
+    entries, so variable coefficients are reproduced exactly.
+    """
+
+    name = "stencil"
+
+    def __init__(self, engine: "AsyncEngine"):
+        self.engine = engine
+        self.plan: SweepPlan = engine.plan
+        self.kernels = self.plan.stencil_kernels()
+        self._ext_buf = np.empty(engine.view.n)
+        self._s_buf = np.empty(engine.view.n)
+
+    def sweep(self, x: np.ndarray) -> np.ndarray:
+        eng = self.engine
+        cfg = eng.config
+        consume_schedule_draws(eng, self.plan)
+
+        ext = self.kernels.apply_external(x, out=self._ext_buf)
+        s = np.subtract(eng.b, ext, out=self._s_buf)
+        # out=x folds the final write-back into the last local iteration.
+        self.kernels.local_sweeps(s, x, cfg.local_iterations, omega=cfg.omega, out=x)
         eng.update_counts += 1
         eng.sweep_index += 1
         return x
@@ -270,6 +357,8 @@ class ReferenceSweepExecutor:
 
 def make_executor(backend: str, engine: "AsyncEngine"):
     """Instantiate the executor for a resolved backend name."""
+    if backend == "stencil":
+        return StencilSweepExecutor(engine)
     if backend == "fused":
         return FusedSweepExecutor(engine)
     if backend == "reference":

@@ -97,6 +97,8 @@ class SweepPlan:
         self._local_c: Optional[List[CSRMatrix]] = None
         self._warmed_reference = False
         self._warmed_fused = False
+        self._stencil = None
+        self._stencil_kernels = None
 
     # ------------------------------------------------------------------ #
     # reference-loop structures
@@ -163,6 +165,45 @@ class SweepPlan:
             self.view.warm_stacked_kernels()
             self._warmed_fused = True
         return self
+
+    # ------------------------------------------------------------------ #
+    # matrix-free stencil structures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stencil_attempted(self) -> bool:
+        """Whether stencil detection has run on this plan (telemetry gate)."""
+        return self._stencil is not None
+
+    @property
+    def stencil(self):
+        """``(descriptor, reason)`` of stencil detection, run lazily once.
+
+        The descriptor is a :class:`repro.perf.stencil.StencilDescriptor`
+        when the view's blocks are stencil-regular, else ``None`` with a
+        human-readable failure *reason* — recorded in the partition
+        telemetry so every fallback is explainable.
+        """
+        if self._stencil is None:
+            from .stencil import detect_stencil
+
+            self._stencil = detect_stencil(self.view)
+        return self._stencil
+
+    def stencil_kernels(self):
+        """The compiled :class:`repro.perf.stencil.StencilKernels` (cached).
+
+        Raises :class:`ValueError` when detection failed — callers gate on
+        :attr:`stencil` first (the backend dispatcher does).
+        """
+        if self._stencil_kernels is None:
+            desc, reason = self.stencil
+            if desc is None:
+                raise ValueError(f"view is not stencil-regular: {reason}")
+            from .stencil import StencilKernels
+
+            self._stencil_kernels = StencilKernels(self.view, desc.offsets)
+        return self._stencil_kernels
 
     @property
     def ell_plans_built(self) -> int:

@@ -33,8 +33,9 @@ __all__ = ["CacheEntry", "PlanCache"]
 class CacheEntry:
     """Compiled artifacts of one (matrix, decomposition) pair."""
 
-    #: Cache key: (matrix fingerprint, partition spec, block size).
-    key: Tuple[str, str, int]
+    #: Cache key: (matrix fingerprint, partition spec, block size,
+    #: requested backend).
+    key: Tuple[str, str, int, str]
     #: The matrix the artifacts were compiled for (content-identical to
     #: every matrix that hits this entry).
     matrix: CSRMatrix
@@ -62,7 +63,7 @@ class PlanCache:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._entries: "OrderedDict[Tuple[str, str, int], CacheEntry]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[str, str, int, str], CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -76,9 +77,10 @@ class PlanCache:
         partition_spec: str = "uniform",
         block_size: int = 128,
         *,
+        backend: str = "auto",
         fingerprint: Optional[str] = None,
     ) -> Tuple[CacheEntry, bool]:
-        """The compiled entry for ``(A, spec, block_size)`` and hit status.
+        """The compiled entry for ``(A, spec, block_size, backend)`` and hit status.
 
         A hit returns the existing artifacts (the fingerprint guarantees
         *A* is content-identical to the cached matrix); a miss cuts the
@@ -89,9 +91,16 @@ class PlanCache:
         caller already computed :func:`matrix_fingerprint(A)
         <repro.serve.matrix_fingerprint>` (the service batch keys carry
         it) to skip re-hashing the arrays.
+
+        *backend* is the request's **requested** backend and is part of
+        the key: an entry whose plan was warmed (and possibly
+        stencil-compiled) under ``backend="auto"`` dispatch is never
+        served to a request that forced ``backend="reference"`` — the two
+        requests must not share warm/telemetry state, and a forced
+        backend's errors must surface on its own entry.
         """
         fp = fingerprint if fingerprint is not None else matrix_fingerprint(A)
-        key = (fp, str(partition_spec), int(block_size))
+        key = (fp, str(partition_spec), int(block_size), str(backend))
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)

@@ -284,6 +284,7 @@ class SolveService:
             batch[0].request.A,
             config.partition,
             config.block_size,
+            backend=config.backend,
             fingerprint=fp,
         )
         admitted_at = self._clock()

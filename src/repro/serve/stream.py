@@ -61,11 +61,12 @@ class JobStreamError(ValueError):
 
 
 def _default_load_matrix(spec: str) -> CSRMatrix:
-    from ..matrices import SUITE_NAMES, get_matrix, read_matrix_market
+    from ..matrices import get_matrix, read_matrix_market
 
-    if spec in SUITE_NAMES:
+    try:
         return get_matrix(spec)
-    return read_matrix_market(spec)
+    except KeyError:
+        return read_matrix_market(spec)
 
 
 def _job_rhs(A: CSRMatrix, rhs: Any, seed: int) -> np.ndarray:

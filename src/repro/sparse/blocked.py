@@ -283,9 +283,27 @@ class BlockRowView:
         return self.partition.ensure_stats(self.matrix)
 
     def partition_telemetry(self) -> dict:
-        """The partition's :class:`RunRecorder` annotation block, stats included."""
+        """The partition's :class:`RunRecorder` annotation block, stats included.
+
+        When this view's compiled sweep plan has run stencil structure
+        detection (:mod:`repro.perf.stencil`), the outcome rides along
+        under a ``"stencil"`` key — the descriptor summary on success, the
+        failure reason on fallback — so every dispatch decision is
+        explainable from the telemetry alone.  Detection is never *forced*
+        here: views whose engines never considered stencil dispatch report
+        plain partition telemetry.
+        """
         self.partition.ensure_stats(self.matrix)
-        return self.partition.telemetry()
+        out = self.partition.telemetry()
+        plan = self._perf_plan
+        if plan is not None and plan.stencil_attempted:
+            desc, reason = plan.stencil
+            out["stencil"] = (
+                {"detected": True, **desc.telemetry()}
+                if desc is not None
+                else {"detected": False, "reason": reason}
+            )
+        return out
 
     def block_sizes(self) -> np.ndarray:
         """Row counts per block."""

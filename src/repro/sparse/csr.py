@@ -299,6 +299,12 @@ class CSRMatrix:
         along the row, long-row runs via reduceat.
         """
         cols, data, runs, empty = self._ell_plan()
+        if len(cols) == 0:
+            # Zero-width plan (an empty block, e.g. from a clustered
+            # partition): the product is identically zero — skip the
+            # gather so no (rows, 0) float intermediate is built per call.
+            out[...] = 0.0
+            return out
         vals = data * gather_cols(cols)
         for rows_c, lo, hi, width, seg_starts in runs:
             if width:

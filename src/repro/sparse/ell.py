@@ -124,6 +124,11 @@ class ELLMatrix:
         y = out if out is not None else np.zeros(self.shape[0])
         if out is not None:
             y[:] = 0.0
+        if self.width == 0:
+            # Zero-width plan (empty matrix): the product is identically
+            # zero — y is already zeroed, and there is no (nrows, 0)
+            # intermediate to build.
+            return y
         for k in range(self.width):
             y += self.values[k] * x[self.col_indices[k]]
         return y

@@ -76,3 +76,45 @@ def test_permuting_partitions_rejected(small_spd):
 def test_validation():
     with pytest.raises(ValueError):
         PlanCache(capacity=0)
+
+
+def test_backend_is_part_of_the_cache_key(small_spd):
+    # A plan compiled under auto (stencil-eligible) dispatch must never be
+    # served to a request that forced a specific backend, and vice versa:
+    # the requested backend is part of the key.
+    cache = PlanCache()
+    e_auto, hit = cache.lookup(small_spd, "uniform", 10, backend="auto")
+    assert hit is False
+    e_ref, hit = cache.lookup(small_spd, "uniform", 10, backend="reference")
+    assert hit is False and e_ref is not e_auto
+    assert e_auto.key[3] == "auto" and e_ref.key[3] == "reference"
+    # Same backend again is a hit on its own entry.
+    e2, hit = cache.lookup(small_spd, "uniform", 10, backend="reference")
+    assert hit is True and e2 is e_ref
+    assert len(cache) == 2
+
+
+def test_backend_defaults_to_auto(small_spd):
+    cache = PlanCache()
+    e1, _ = cache.lookup(small_spd, "uniform", 10)
+    e2, hit = cache.lookup(small_spd, "uniform", 10, backend="auto")
+    assert hit is True and e2 is e1
+
+
+def test_service_routes_forced_backend_to_its_own_entry(small_spd):
+    from repro.core import AsyncConfig
+    from repro.serve import SolveService
+
+    b = small_spd.matvec(np.ones(small_spd.shape[0]))
+    service = SolveService()
+    cfg = dict(local_iterations=2, block_size=10)
+    r1 = service.solve(small_spd, b, config=AsyncConfig(**cfg))
+    r2 = service.solve(small_spd, b, config=AsyncConfig(backend="reference", **cfg))
+    assert r1.completed and r2.completed
+    # Different requested backends → different cache entries, no false hit.
+    assert service.cache.stats()["misses"] == 2
+    assert service.cache.stats()["hits"] == 0
+    r3 = service.solve(small_spd, b, config=AsyncConfig(backend="reference", **cfg))
+    assert r3.completed and service.cache.stats()["hits"] == 1
+    # Identical iterates regardless of which entry served the request.
+    assert np.array_equal(r2.result.x, r3.result.x)
