@@ -91,6 +91,7 @@ def _build_solver(args, recorder=None):
         omega=args.omega,
         backend=args.backend,
         partition=partition,
+        schwarz=getattr(args, "schwarz", "none"),
         residual_every=every,
     )
     shards = getattr(args, "shards", 0)
@@ -213,6 +214,7 @@ def _cmd_serve(args) -> int:
             omega=args.omega,
             backend=args.backend,
             partition=args.partition,
+            schwarz=args.schwarz,
             residual_every=args.residual_every,
         )
         service = SolveService(
@@ -332,12 +334,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument(
         "--partition",
-        metavar="STRATEGY[:PARAM]",
+        metavar="STRATEGY[:PARAM][+oK]",
         default="uniform",
         help="row-block decomposition strategy for --solver=async/block-jacobi: "
         "uniform[:block_size], work_balanced[:nblocks], rcm[:block_size], "
         "clustered[:block_size] (default uniform — the paper's CUDA-grid cut; "
-        "PARAM falls back to --block-size)",
+        "PARAM falls back to --block-size); append +oK for K overlap rows "
+        "per block side (used with --schwarz)",
+    )
+    ps.add_argument(
+        "--schwarz",
+        choices=("none", "ras", "wras"),
+        default="none",
+        help="restricted-Schwarz mode on +oK overlapped partitions: ras "
+        "(owned rows write; the paper-faithful asynchronous default) or "
+        "wras (partition-of-unity weighted, synchronous accumulate)",
     )
     ps.add_argument(
         "--shards",
@@ -404,10 +415,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pv.add_argument(
         "--partition",
-        metavar="STRATEGY[:PARAM]",
+        metavar="STRATEGY[:PARAM][+oK]",
         default="uniform",
         help="default decomposition spec (non-permuting strategies only: "
-        "uniform[:block_size], work_balanced[:nblocks])",
+        "uniform[:block_size], work_balanced[:nblocks]; +oK adds K "
+        "overlap rows per block side for --schwarz)",
+    )
+    pv.add_argument(
+        "--schwarz",
+        choices=("none", "ras", "wras"),
+        default="none",
+        help="default restricted-Schwarz mode on +oK overlapped partitions",
     )
     pv.add_argument("--residual-every", type=int, default=1, metavar="M")
     pv.add_argument(
@@ -424,7 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     pv.set_defaults(func=_cmd_serve)
 
     pe = sub.add_parser("experiment", help="regenerate a paper artifact")
-    pe.add_argument("id", help="artifact id (T1..F11, X1..X7, A1..A5), 'list', or 'all'")
+    pe.add_argument("id", help="artifact id (T1..F11, X1..X8, A1..A5), 'list', or 'all'")
     pe.add_argument("--outdir", default=None, help="output directory for 'all'")
     pe.add_argument("--full", action="store_true", help="paper-scale parameters")
     pe.add_argument("--json", action="store_true", help="emit JSON instead of tables")

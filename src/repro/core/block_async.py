@@ -53,11 +53,13 @@ class BlockAsyncSolver(IterativeSolver):
         permuting partition, frozen rows are interpreted in partition
         order (the order the blocks actually sweep).
     partition:
-        Row-block decomposition: a ``strategy[:param]`` spec string (see
-        :mod:`repro.partition.strategies`) or a ready-made
+        Row-block decomposition: a ``strategy[:param][+oK]`` spec string
+        (see :mod:`repro.partition.strategies`) or a ready-made
         :class:`repro.partition.Partition`.  Overrides
         ``config.partition``; the default ``"uniform"`` reproduces the
-        historical ``block_size`` cuts bitwise.  Strategies carrying a
+        historical ``block_size`` cuts bitwise.  An ``+oK`` overlap
+        suffix combined with ``config.schwarz="ras"``/``"wras"`` runs
+        asynchronous restricted-Schwarz sweeps on the extended blocks.  Strategies carrying a
         row permutation (``rcm``, ``clustered``) iterate on the permuted
         system — residual histories are reported in that (partition)
         order, matching a direct solve of the permuted system bitwise —

@@ -114,18 +114,37 @@ class AsyncEngine:
         # recovery, repro.core.recovery) — exempt from any future fault.
         self._healed = np.zeros(view.n, dtype=bool)
         # Compile (or reuse) the view's sweep plan and dispatch the sweep
-        # executor: matrix-free stencil kernels where structure detection
-        # succeeds, fused whole-system kernels where exact, the per-block
-        # reference loop everywhere else (repro.perf).
+        # executor: the extended-block RAS loop when an overlapped Schwarz
+        # mode is active, otherwise matrix-free stencil kernels where
+        # structure detection succeeds, fused whole-system kernels where
+        # exact, and the per-block reference loop everywhere else
+        # (repro.perf).  With schwarz="none" or a zero-overlap partition
+        # the dispatch below is untouched — bitwise the historical engine.
         self.plan = compile_sweep_plan(view)
-        self.backend = resolve_backend(
-            config,
-            self.scheduler,
-            has_fault=fault is not None,
-            rhs_fold_safe=rhs_preserves_fold(self.b),
-            plan=self.plan,
-        )
-        self._executor = make_executor(self.backend, self)
+        if config.schwarz != "none" and view.partition.overlap > 0:
+            if fault is not None:
+                raise ValueError(
+                    "Schwarz modes do not support fault scenarios; use "
+                    "schwarz='none' for fault experiments"
+                )
+            if config.backend in ("fused", "stencil"):
+                raise ValueError(
+                    f"backend={config.backend!r} cannot execute async-RAS sweeps; "
+                    "use backend='auto' or 'reference' with schwarz modes"
+                )
+            from ..perf.ras import RASSweepExecutor
+
+            self.backend = "ras"
+            self._executor = RASSweepExecutor(self)
+        else:
+            self.backend = resolve_backend(
+                config,
+                self.scheduler,
+                has_fault=fault is not None,
+                rhs_fold_safe=rhs_preserves_fold(self.b),
+                plan=self.plan,
+            )
+            self._executor = make_executor(self.backend, self)
 
     # ------------------------------------------------------------------ #
 
@@ -405,13 +424,33 @@ class BatchedAsyncEngine:
         self._e_indices = [blk.external.indices for blk in view.blocks]
         self._e_data = [blk.external.data for blk in view.blocks]
         self._diag_blocks = [blk.diag for blk in view.blocks]
+        self._fold_safe = rhs_preserves_fold(self.b)
+        if config.schwarz != "none" and view.partition.overlap > 0:
+            # Overlapped Schwarz mode: every replica advances through the
+            # shared extended-block workspace (repro.perf.ras), consuming
+            # its own generator exactly as a sequential RAS engine would —
+            # batched/sequential parity holds by construction because both
+            # call the same sweep kernel.  None of the disjoint-path
+            # machinery below (padded plans, fused collapse, stencil) is
+            # built.
+            if config.backend in ("fused", "stencil"):
+                raise ValueError(
+                    f"backend={config.backend!r} cannot execute async-RAS sweeps; "
+                    "use backend='auto' or 'reference' with schwarz modes"
+                )
+            from ..perf.ras import RASWorkspace
+
+            self.backend = "ras"
+            self._ras = RASWorkspace(view, config)
+            self._stencil_kernels = None
+            return
+        self._ras = None
         self._build_padded_plans()
         # Backend resolution mirrors the sequential engine: the whole-sweep
         # collapse (one global multi-vector two-stage update, no position
         # loop) engages exactly where AsyncEngine's fused executor would —
         # snapshot-read and all-deferred regimes — so replica r stays
         # bitwise the sequential run regardless of which engine fused.
-        self._fold_safe = rhs_preserves_fold(self.b)
         self.backend = resolve_backend(
             config, self.schedulers[0], rhs_fold_safe=self._fold_safe, plan=self.plan
         )
@@ -534,6 +573,22 @@ class BatchedAsyncEngine:
             else np.asarray(replicas, dtype=np.int64)
         )
         if len(reps) == 0:
+            self.sweep_index += 1
+            return X
+        if self._ras is not None:
+            # Async-RAS: each replica runs the shared extended-block sweep
+            # kernel on its own iterate row, generator and scheduler —
+            # literally the sequential executor's call, once per replica.
+            for r in reps:
+                self._ras.sweep(
+                    X[r],
+                    self.B[r] if self.multi_rhs else self.b,
+                    self.rngs[r],
+                    self.schedulers[r],
+                    self.sweep_index,
+                    self.update_counts[r],
+                    fold_safe=self._fold_safe,
+                )
             self.sweep_index += 1
             return X
 

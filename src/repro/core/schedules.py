@@ -60,7 +60,14 @@ import numpy as np
 from .._util import RNGLike, as_rng
 from ..partition import Partition, parse_partition_spec
 
-__all__ = ["AsyncConfig", "WaveScheduler", "UPDATE_ORDERS", "BACKENDS", "replica_rngs"]
+__all__ = [
+    "AsyncConfig",
+    "WaveScheduler",
+    "UPDATE_ORDERS",
+    "BACKENDS",
+    "SCHWARZ_MODES",
+    "replica_rngs",
+]
 
 
 def replica_rngs(seed0: int, nreplicas: int) -> List[np.random.Generator]:
@@ -87,6 +94,15 @@ UPDATE_ORDERS = ("synchronous", "sequential", "reversed", "random", "gpu")
 #: it is not exact, or — stencil — where detection fails);
 #: ``"reference"`` forces the per-block loop everywhere.
 BACKENDS = ("auto", "stencil", "fused", "reference")
+
+#: Recognised Schwarz modes: ``"none"`` is the paper's disjoint
+#: block-asynchronous method; ``"ras"`` sweeps each block's *extended*
+#: (overlapped) system and folds back only owned rows (restricted additive
+#: Schwarz); ``"wras"`` folds every extended row with partition-of-unity
+#: weights (weighted RAS).  The overlapped modes engage only when the
+#: partition spec carries an ``+oK`` suffix with K > 0 — at overlap 0 they
+#: are bitwise the disjoint method and run the classic pipeline.
+SCHWARZ_MODES = ("none", "ras", "wras")
 
 
 @dataclass(frozen=True)
@@ -118,12 +134,18 @@ class AsyncConfig:
         strategy, not a semantic knob: every backend produces bitwise the
         same iterates wherever it is allowed to run (:mod:`repro.perf`).
     partition:
-        ``strategy[:param]`` spec naming the row-block decomposition
+        ``strategy[:param][+oK]`` spec naming the row-block decomposition
         strategy (see :mod:`repro.partition.strategies`): ``"uniform"``
         (the default — bitwise-identical to the historical
         ``block_size`` cuts), ``"work_balanced"``, ``"rcm"``,
         ``"clustered"``.  A missing param falls back to
-        :attr:`block_size`.
+        :attr:`block_size`; an ``+oK`` suffix sets the halo depth the
+        Schwarz modes sweep past each block's owned rows.
+    schwarz:
+        Schwarz mode, one of :data:`SCHWARZ_MODES`.  ``"ras"``/``"wras"``
+        sweep extended (overlapped) block systems and restrict the
+        fold-back; with a zero-overlap partition they are bitwise
+        ``"none"`` and the engines run the classic pipeline unchanged.
     seed:
         Master seed of the run — two runs with the same seed are bitwise
         identical; different seeds model different nondeterministic
@@ -149,6 +171,7 @@ class AsyncConfig:
     jitter_swaps: int = 2
     backend: str = "auto"
     partition: str = "uniform"
+    schwarz: str = "none"
     seed: RNGLike = 0
     residual_every: int = 1
 
@@ -174,12 +197,31 @@ class AsyncConfig:
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
         parse_partition_spec(self.partition)  # raises ValueError on bad specs
+        if self.schwarz not in SCHWARZ_MODES:
+            raise ValueError(f"schwarz must be one of {SCHWARZ_MODES}, got {self.schwarz!r}")
         if self.residual_every < 1:
             raise ValueError("residual_every must be >= 1")
 
     @property
+    def schwarz_overlap(self) -> int:
+        """The halo depth the Schwarz mode will sweep with (0 when inactive).
+
+        Nonzero exactly when :attr:`schwarz` is an overlapped mode *and*
+        the partition spec carries a positive ``+oK`` suffix — the single
+        predicate every dispatch site uses, so "RAS requested but overlap
+        0" degenerates to the classic engines everywhere at once.
+        """
+        if self.schwarz == "none":
+            return 0
+        return parse_partition_spec(self.partition)[2]
+
+    @property
     def method_name(self) -> str:
-        """Paper-style tag, e.g. ``async-(5)``."""
+        """Paper-style tag, e.g. ``async-(5)`` or ``async-RAS(5,o2)``."""
+        overlap = self.schwarz_overlap
+        if overlap > 0:
+            tag = "RAS" if self.schwarz == "ras" else "wRAS"
+            return f"async-{tag}({self.local_iterations},o{overlap})"
         return f"async-({self.local_iterations})"
 
 

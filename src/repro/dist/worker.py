@@ -36,7 +36,7 @@ import numpy as np
 
 from ..core.engine import AsyncEngine
 from ..core.schedules import AsyncConfig
-from ..partition import Partition
+from ..partition import Partition, extract_block_system
 from ..runtime.recorder import RunRecorder
 from ..sparse import BlockRowView, CSRMatrix
 from .shm import SharedState
@@ -79,18 +79,11 @@ class _LocalShard:
         spec = self.spec
         bounds = spec.boundaries
         lo, hi = int(bounds[blo]), int(bounds[bhi])
-        rows = spec.A.row_slice(lo, hi)
-        local, halo = rows.column_range_split(lo, hi)
-        # Square local matrix in shard-local numbering; the halo part
-        # keeps the global column space so it multiplies the full shared
-        # iterate directly.
-        A_local = CSRMatrix(
-            local.indptr,
-            local.indices - lo,
-            local.data,
-            (hi - lo, hi - lo),
-            check=False,
-        )
+        # The shared halo machinery (repro.partition.halo): square local
+        # matrix in shard-local numbering, halo part keeping the global
+        # column space so it multiplies the full shared iterate directly —
+        # the same decomposition RAS extended blocks use.
+        A_local, halo = extract_block_system(spec.A, lo, hi)
         part = Partition(
             boundaries=bounds[blo : bhi + 1] - lo,
             strategy="explicit",

@@ -69,6 +69,7 @@ def paper_async_config(
     omega: float = 1.0,
     backend: str = "auto",
     partition: str = "uniform",
+    schwarz: str = "none",
     residual_every: int = 1,
 ) -> AsyncConfig:
     """The experiment-standard async-(k) configuration.
@@ -77,9 +78,11 @@ def paper_async_config(
     block size, as on the paper's hardware.  *backend* selects the sweep
     execution strategy (:data:`repro.core.schedules.BACKENDS`) — a timing
     knob only, never a change in iterates.  *partition* selects the
-    row-block decomposition strategy (``strategy[:param]``, see
+    row-block decomposition strategy (``strategy[:param][+oK]``, see
     :mod:`repro.partition.strategies`; the default ``"uniform"`` is the
-    paper's CUDA-grid cut).  *residual_every* sets the full-residual
+    paper's CUDA-grid cut).  *schwarz* selects the restricted-Schwarz
+    mode run on ``+oK`` overlapped partitions
+    (:data:`repro.core.schedules.SCHWARZ_MODES`).  *residual_every* sets the full-residual
     recording cadence (paper figures use 1; see
     :class:`repro.runtime.RunLoop`).
     """
@@ -92,6 +95,7 @@ def paper_async_config(
         omega=omega,
         backend=backend,
         partition=partition,
+        schwarz=schwarz,
         residual_every=residual_every,
     )
 

@@ -48,10 +48,28 @@ class PartitionStats:
     #: Stored in-block entries over total in-block capacity
     #: ``sum(rows_k^2)`` — how "dense" the diagonal blocks are.
     diag_block_density: float
+    #: The overlap depth the halo figures below were measured at
+    #: (0 = disjoint blocks; the fields below are then identically zero).
+    overlap: int = 0
+    #: Total halo rows across all blocks — rows a block reads and iterates
+    #: but does not own (duplicated work in a restricted-Schwarz sweep).
+    overlap_rows: int = 0
+    #: Stored entries of those halo rows summed over blocks — the extra
+    #: gather/compute volume overlap buys its convergence gains with.
+    duplicated_nnz: int = 0
+    #: Fraction of the off-block coupling ``|mass|`` whose column falls
+    #: inside the owning row's *extended* block — the share of Eq. (4)'s
+    #: frozen "global part" that overlap converts into locally-iterated
+    #: coupling.  The direct predictor of where async-RAS pays.
+    halo_captured_fraction: float = 0.0
 
     def summary(self) -> Dict[str, Any]:
-        """JSON-friendly scalar summary (no per-block arrays)."""
-        return {
+        """JSON-friendly scalar summary (no per-block arrays).
+
+        Overlap figures appear only for overlapped partitions, so the
+        ``overlap=0`` summary is exactly the historical document.
+        """
+        out = {
             "imbalance": float(self.imbalance),
             "off_block_fraction": float(self.off_block_fraction),
             "diag_block_density": float(self.diag_block_density),
@@ -60,15 +78,28 @@ class PartitionStats:
             "block_nnz_min": int(self.block_nnz.min()),
             "block_nnz_max": int(self.block_nnz.max()),
         }
+        if self.overlap > 0:
+            out.update(
+                overlap=int(self.overlap),
+                overlap_rows=int(self.overlap_rows),
+                duplicated_nnz=int(self.duplicated_nnz),
+                halo_captured_fraction=float(self.halo_captured_fraction),
+            )
+        return out
 
 
-def compute_stats(A: "CSRMatrix", boundaries: np.ndarray) -> PartitionStats:
+def compute_stats(
+    A: "CSRMatrix", boundaries: np.ndarray, overlap: int = 0
+) -> PartitionStats:
     """Measure partition quality on *A*, assumed already in partition order.
 
     One vectorized pass over the stored entries: every entry is labelled
     with its row's block, split into in-block vs external by column range,
     and the diagonal excluded from the coupling-mass ratio (matching
-    :meth:`repro.sparse.BlockRowView.off_block_fraction`).
+    :meth:`repro.sparse.BlockRowView.off_block_fraction`).  With
+    *overlap* > 0 the halo figures (duplicated rows/nnz, captured external
+    coupling) are measured against each block's clipped extended range
+    ``[start - overlap, stop + overlap)``.
     """
     boundaries = np.asarray(boundaries, dtype=np.int64)
     n = int(boundaries[-1])
@@ -85,12 +116,31 @@ def compute_stats(A: "CSRMatrix", boundaries: np.ndarray) -> PartitionStats:
     total = ext_mass + loc_mass
     capacity = float((block_rows.astype(np.float64) ** 2).sum())
     mean_nnz = float(block_nnz.mean()) if block_nnz.size else 0.0
+    overlap = int(overlap)
+    overlap_rows = 0
+    duplicated_nnz = 0
+    halo_captured = 0.0
+    if overlap > 0:
+        elo = np.maximum(boundaries[:-1] - overlap, 0)
+        ehi = np.minimum(boundaries[1:] + overlap, n)
+        overlap_rows = int((ehi - elo - block_rows).sum())
+        duplicated_nnz = int(
+            (A.indptr[boundaries[:-1]] - A.indptr[elo]).sum()
+            + (A.indptr[ehi] - A.indptr[boundaries[1:]]).sum()
+        )
+        captured = ~local & (cols >= elo[entry_block]) & (cols < ehi[entry_block])
+        captured_mass = float(absdata[captured].sum())
+        halo_captured = captured_mass / ext_mass if ext_mass > 0 else 0.0
     return PartitionStats(
         block_rows=block_rows,
         block_nnz=block_nnz,
         imbalance=float(block_nnz.max()) / mean_nnz if mean_nnz > 0 else 1.0,
         off_block_fraction=ext_mass / total if total > 0 else 0.0,
         diag_block_density=float(local.sum()) / capacity if capacity > 0 else 0.0,
+        overlap=overlap,
+        overlap_rows=overlap_rows,
+        duplicated_nnz=duplicated_nnz,
+        halo_captured_fraction=halo_captured,
     )
 
 
@@ -121,6 +171,12 @@ class Partition:
     stats:
         Cached :class:`PartitionStats`, filled lazily by
         :meth:`ensure_stats` (they need a concrete matrix).
+    overlap:
+        Halo depth in rows.  Block *k*'s *extended* range is
+        ``[boundaries[k] - overlap, boundaries[k+1] + overlap)`` clipped to
+        ``[0, n)`` — the restricted-Schwarz subdomain it reads and sweeps,
+        while writes stay restricted to the owned (disjoint) range.
+        ``overlap=0`` is exactly the paper's disjoint decomposition.
     """
 
     boundaries: np.ndarray
@@ -128,9 +184,11 @@ class Partition:
     strategy: str = "explicit"
     spec: Optional[str] = None
     stats: Optional[PartitionStats] = None
+    overlap: int = 0
     _inv_perm: Optional[np.ndarray] = field(default=None, repr=False)
     _permuted_source: Any = field(default=None, repr=False)
     _permuted_matrix: Any = field(default=None, repr=False)
+    _weights: Dict[str, Any] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         b = as_index_array(self.boundaries, "boundaries")
@@ -143,6 +201,11 @@ class Partition:
             if len(p) != n or not np.array_equal(np.bincount(p, minlength=n), np.ones(n, dtype=np.int64)):
                 raise ValueError("perm must be a permutation of range(n)")
             self.perm = p
+        if not isinstance(self.overlap, (int, np.integer)) or isinstance(self.overlap, bool):
+            raise TypeError(f"overlap must be an int, got {type(self.overlap).__name__}")
+        if self.overlap < 0:
+            raise ValueError(f"overlap must be >= 0, got {self.overlap}")
+        self.overlap = int(self.overlap)
         if self.spec is None:
             self.spec = self.strategy
 
@@ -159,6 +222,61 @@ class Partition:
     def block_sizes(self) -> np.ndarray:
         """Row counts per block."""
         return np.diff(self.boundaries)
+
+    def halo_ranges(self) -> np.ndarray:
+        """``(nblocks, 2)`` extended ``[elo, ehi)`` ranges, clipped to ``[0, n)``.
+
+        Row *k*'s owned range widened by :attr:`overlap` on each side —
+        the restricted-Schwarz subdomain.  With ``overlap=0`` this is just
+        the boundary pairs.
+        """
+        lo = np.maximum(self.boundaries[:-1] - self.overlap, 0)
+        hi = np.minimum(self.boundaries[1:] + self.overlap, self.n)
+        return np.stack([lo, hi], axis=1)
+
+    def coverage_counts(self) -> np.ndarray:
+        """Per-row count of extended blocks containing the row.
+
+        All ones at ``overlap=0`` (the blocks are disjoint); rows within
+        :attr:`overlap` of a cut are covered by every neighbour whose halo
+        reaches them.  This is the partition-of-unity denominator for the
+        weighted-RAS restriction weights.
+        """
+        ranges = self.halo_ranges()
+        delta = np.zeros(self.n + 1, dtype=np.int64)
+        np.add.at(delta, ranges[:, 0], 1)
+        np.add.at(delta, ranges[:, 1], -1)
+        return np.cumsum(delta[:-1])
+
+    def restriction_weights(self, variant: str = "ras") -> list:
+        """Per-block fold-back weights over the extended ranges (cached).
+
+        ``"ras"`` (restricted additive Schwarz): weight 1 on the rows the
+        block owns, 0 on halo rows — each row is written by exactly one
+        block.  ``"wras"`` (weighted RAS): weight ``1 / coverage`` on every
+        extended row, so the weights over all blocks sum to exactly 1 on
+        each row (a partition of unity) and overlapped updates average.
+        """
+        if variant not in ("ras", "wras"):
+            raise ValueError(f'variant must be "ras" or "wras", got {variant!r}')
+        cached = self._weights.get(variant)
+        if cached is not None:
+            return cached
+        ranges = self.halo_ranges()
+        weights = []
+        if variant == "ras":
+            for k in range(self.nblocks):
+                elo, ehi = int(ranges[k, 0]), int(ranges[k, 1])
+                w = np.zeros(ehi - elo, dtype=np.float64)
+                w[int(self.boundaries[k]) - elo : int(self.boundaries[k + 1]) - elo] = 1.0
+                weights.append(w)
+        else:
+            inv = 1.0 / self.coverage_counts().astype(np.float64)
+            for k in range(self.nblocks):
+                elo, ehi = int(ranges[k, 0]), int(ranges[k, 1])
+                weights.append(inv[elo:ehi].copy())
+        self._weights[variant] = weights
+        return weights
 
     @property
     def inverse_perm(self) -> Optional[np.ndarray]:
@@ -205,7 +323,7 @@ class Partition:
         partition carries a permutation.
         """
         if self.stats is None:
-            self.stats = compute_stats(A, self.boundaries)
+            self.stats = compute_stats(A, self.boundaries, self.overlap)
         return self.stats
 
     def fingerprint(self) -> str:
@@ -226,6 +344,10 @@ class Partition:
         h.update(b"|perm|")
         if self.perm is not None:
             h.update(self.perm.tobytes())
+        if self.overlap > 0:
+            # Appended only when overlapped so overlap=0 digests match every
+            # fingerprint ever produced before overlap existed.
+            h.update(f"|overlap|{self.overlap}".encode())
         return h.hexdigest()
 
     def telemetry(self) -> Dict[str, Any]:
@@ -240,10 +362,14 @@ class Partition:
             "nblocks": self.nblocks,
             "permuted": self.perm is not None,
         }
+        if self.overlap > 0:
+            out["overlap"] = self.overlap
         if self.stats is not None:
             out.update(self.stats.summary())
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         tag = " perm" if self.perm is not None else ""
+        if self.overlap > 0:
+            tag += f" overlap={self.overlap}"
         return f"<Partition {self.strategy} n={self.n} nblocks={self.nblocks}{tag}>"

@@ -1,0 +1,68 @@
+"""Shared halo extraction — one row range's local/external split.
+
+Every consumer that carves a contiguous row range out of a global system
+needs the same three-way decomposition: the square in-range submatrix (in
+range-local column numbering), the diagonal pulled out of it, and the
+external coupling matrix whose columns stay global.  The dist shard
+workers have done this since PR 7 with a bespoke ``column_range_split``
+path; restricted-Schwarz extended blocks need it per block.  This module
+is the single implementation both reuse, so the halo semantics (and any
+future fix to them) live in exactly one place.
+
+Sparse imports happen inside the functions: this package must stay
+importable before :mod:`repro.sparse` (which imports us back for
+:class:`~repro.sparse.BlockRowView`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sparse.csr import CSRMatrix
+
+__all__ = ["extract_block_system", "split_block_diagonal"]
+
+
+def extract_block_system(
+    A: "CSRMatrix", lo: int, hi: int
+) -> Tuple["CSRMatrix", "CSRMatrix"]:
+    """Rows ``[lo, hi)`` of *A* as ``(A_local, A_ext)``.
+
+    ``A_local`` is the square ``(hi-lo, hi-lo)`` submatrix of in-range
+    couplings with columns shifted to range-local numbering; ``A_ext``
+    holds the remaining entries of those rows with **global** columns, so
+    ``A_local @ x[lo:hi] + A_ext @ x`` reproduces ``(A @ x)[lo:hi]``
+    exactly.  This is the dist shard decomposition and the RAS extended
+    block decomposition — one code path for both.
+    """
+    from ..sparse.csr import CSRMatrix
+
+    rows = A.row_slice(int(lo), int(hi))
+    local, external = rows.column_range_split(int(lo), int(hi))
+    m = int(hi) - int(lo)
+    A_local = CSRMatrix(
+        local.indptr, local.indices - int(lo), local.data, (m, m), check=False
+    )
+    return A_local, external
+
+
+def split_block_diagonal(
+    A_local: "CSRMatrix", *, label: str = "block"
+) -> Tuple[np.ndarray, "CSRMatrix"]:
+    """Square range-local matrix → ``(diag, off_diagonal)``.
+
+    The diagonal is returned dense (the relaxation divisor); the remainder
+    keeps the same square shape.  Raises :class:`ValueError` when any
+    diagonal entry is missing or zero — relaxation sweeps divide by it.
+    """
+    diag = np.zeros(A_local.shape[0], dtype=np.float64)
+    rows = A_local._expanded_rows()
+    on_diag = A_local.indices == rows
+    diag[rows[on_diag]] = A_local.data[on_diag]
+    if np.any(diag == 0.0):
+        missing = int(np.flatnonzero(diag == 0.0)[0])
+        raise ValueError(f"zero or missing diagonal at local row {missing} of {label}")
+    return diag, A_local._mask_select(~on_diag)

@@ -1,8 +1,8 @@
 """Strategy registry: named, parameterised ways to build a :class:`Partition`.
 
-Strategies are registered by name and selected with a ``strategy[:param]``
-spec string (the same grammar the CLI's ``--partition`` knob and
-:class:`repro.core.AsyncConfig` use):
+Strategies are registered by name and selected with a
+``strategy[:param][+oK]`` spec string (the same grammar the CLI's
+``--partition`` knob and :class:`repro.core.AsyncConfig` use):
 
 ``uniform[:block_size]``
     Equal-row contiguous blocks in natural order — the paper's CUDA-grid
@@ -17,6 +17,11 @@ spec string (the same grammar the CLI's ``--partition`` knob and
     Greedy coupling-clustered reordering (``matrices/clustering.py``) +
     uniform blocks — directly minimises off-block coupling mass.
 
+Any spec may carry an ``+oK`` overlap suffix (e.g. ``work_balanced:8+o2``)
+setting :attr:`Partition.overlap` — the halo depth restricted-Schwarz
+sweeps read past each block's owned rows.  ``+o0`` is accepted and means
+the disjoint default.
+
 Matrix-analysis imports happen lazily inside the builders so this package
 never drags ``repro.matrices`` (and its ``repro.sparse`` dependency) into
 import cycles.
@@ -24,6 +29,7 @@ import cycles.
 
 from __future__ import annotations
 
+import re
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -62,28 +68,51 @@ def available_strategies() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def parse_partition_spec(spec: str) -> Tuple[str, Optional[int]]:
-    """Split a ``strategy[:param]`` spec into ``(name, param)``.
+#: Bare non-negative decimal — what a spec param/overlap digit string may
+#: be.  Deliberately stricter than ``int()``, which tolerates whitespace,
+#: signs, and underscores that would make specs ambiguous in telemetry.
+_DIGITS = re.compile(r"[0-9]+")
+
+
+def parse_partition_spec(spec: str) -> Tuple[str, Optional[int], int]:
+    """Split a ``strategy[:param][+oK]`` spec into ``(name, param, overlap)``.
 
     The optional param is a positive integer whose meaning is per-strategy
     (a block size for ``uniform``/``rcm``/``clustered``, a block count for
-    ``work_balanced``).  Raises :class:`ValueError` for unknown strategies
-    or malformed params.
+    ``work_balanced``); the optional ``+oK`` suffix is a non-negative halo
+    depth (``work_balanced:8+o2`` = 8 work-balanced blocks, each extended
+    2 rows per side).  Raises :class:`ValueError` with an actionable
+    message for unknown strategies, empty strategies, non-integer params,
+    or trailing garbage.
     """
     if not isinstance(spec, str):
         raise ValueError(f"partition spec must be a string, got {type(spec).__name__}")
-    name, sep, raw = spec.partition(":")
+    body, plus, suffix = spec.partition("+")
+    overlap = 0
+    if plus:
+        if not suffix.startswith("o") or not _DIGITS.fullmatch(suffix[1:]):
+            raise ValueError(
+                f"partition spec overlap suffix must look like '+oK' with K a "
+                f"non-negative integer, got {'+' + suffix!r} in {spec!r}"
+            )
+        overlap = int(suffix[1:])
+    name, sep, raw = body.partition(":")
+    if not name:
+        raise ValueError(
+            f"partition spec has an empty strategy name in {spec!r}; "
+            f"expected 'strategy[:param][+oK]' with strategy one of: "
+            f"{', '.join(available_strategies())}"
+        )
     if name not in _REGISTRY:
         raise ValueError(f"unknown partition strategy {name!r}; available: {', '.join(available_strategies())}")
     if not sep:
-        return name, None
-    try:
-        param = int(raw)
-    except ValueError:
-        raise ValueError(f"partition spec param must be an integer, got {raw!r} in {spec!r}") from None
+        return name, None, overlap
+    if not _DIGITS.fullmatch(raw):
+        raise ValueError(f"partition spec param must be an integer, got {raw!r} in {spec!r}")
+    param = int(raw)
     if param <= 0:
         raise ValueError(f"partition spec param must be positive, got {param} in {spec!r}")
-    return name, param
+    return name, param, overlap
 
 
 @register_strategy("uniform")
@@ -119,7 +148,7 @@ def make_partition(
     *,
     block_size: int = 128,
 ) -> Partition:
-    """Build a :class:`Partition` for *A* from a ``strategy[:param]`` spec.
+    """Build a :class:`Partition` for *A* from a ``strategy[:param][+oK]`` spec.
 
     *block_size* is the fallback sizing used when the spec carries no
     param (solvers pass their configured block size, so ``"uniform"`` with
@@ -134,6 +163,8 @@ def make_partition(
         if spec.n != n:
             raise ValueError(f"partition covers {spec.n} rows but the matrix has {n}")
         return spec
-    name, param = parse_partition_spec(spec)
+    name, param, overlap = parse_partition_spec(spec)
     boundaries, perm = _REGISTRY[name](A, n, param, int(block_size))
-    return Partition(boundaries=boundaries, perm=perm, strategy=name, spec=spec)
+    return Partition(
+        boundaries=boundaries, perm=perm, strategy=name, spec=spec, overlap=overlap
+    )

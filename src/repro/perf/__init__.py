@@ -37,6 +37,7 @@ from .backends import (
     resolve_backend,
 )
 from .plan import SweepPlan, compile_sweep_plan, plan_compile_count, rhs_preserves_fold
+from .ras import RASSweepExecutor, RASWorkspace
 from .stencil import StencilDescriptor, StencilKernels, detect_stencil
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "consume_schedule_draws",
     "make_executor",
     "FusedSweepExecutor",
+    "RASSweepExecutor",
+    "RASWorkspace",
     "ReferenceSweepExecutor",
     "StencilSweepExecutor",
     "StencilDescriptor",

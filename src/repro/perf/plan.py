@@ -97,6 +97,8 @@ class SweepPlan:
         self._local_c: Optional[List[CSRMatrix]] = None
         self._warmed_reference = False
         self._warmed_fused = False
+        self._warmed_ras = False
+        self._ras_ennz: Optional[np.ndarray] = None
         self._stencil = None
         self._stencil_kernels = None
 
@@ -164,6 +166,36 @@ class SweepPlan:
         if not self._warmed_fused:
             self.view.warm_stacked_kernels()
             self._warmed_fused = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # restricted-Schwarz extended-block structures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ras_ennz(self) -> np.ndarray:
+        """Per-extended-block external nonzero counts (RAS freshness-draw sizes)."""
+        if self._ras_ennz is None:
+            self._ras_ennz = np.array(
+                [blk.external.nnz for blk in self.view.ras_blocks()], dtype=np.int64
+            )
+        return self._ras_ennz
+
+    def warm_ras(self) -> "SweepPlan":
+        """Materialise and warm the extended-block (RAS) kernel structures.
+
+        Builds the view's :meth:`~repro.sparse.BlockRowView.ras_blocks`
+        and their gather plans so an async-RAS engine's first timed sweep
+        does no compilation — the same contract :meth:`warm_reference`
+        gives the disjoint loop.  Never called at ``overlap=0``; the
+        classic structures stay the only ones built then.
+        """
+        if not self._warmed_ras:
+            for blk in self.view.ras_blocks():
+                blk.external.warm_plan()
+                blk.local_off.warm_plan()
+            self.ras_ennz
+            self._warmed_ras = True
         return self
 
     # ------------------------------------------------------------------ #

@@ -20,7 +20,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from ..partition import Partition, make_partition
+from ..partition import Partition, make_partition, parse_partition_spec
 from ..perf.plan import SweepPlan, compile_sweep_plan
 from ..sparse import BlockRowView
 from ..sparse.csr import CSRMatrix
@@ -34,8 +34,8 @@ class CacheEntry:
     """Compiled artifacts of one (matrix, decomposition) pair."""
 
     #: Cache key: (matrix fingerprint, partition spec, block size,
-    #: requested backend).
-    key: Tuple[str, str, int, str]
+    #: requested backend, parsed overlap).
+    key: Tuple[str, str, int, str, int]
     #: The matrix the artifacts were compiled for (content-identical to
     #: every matrix that hits this entry).
     matrix: CSRMatrix
@@ -63,7 +63,7 @@ class PlanCache:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._entries: "OrderedDict[Tuple[str, str, int, str], CacheEntry]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[str, str, int, str, int], CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -98,9 +98,15 @@ class PlanCache:
         served to a request that forced ``backend="reference"`` — the two
         requests must not share warm/telemetry state, and a forced
         backend's errors must surface on its own entry.
+
+        The spec's parsed ``+oK`` overlap is an explicit key component:
+        two requests differing only in overlap compile different extended
+        block systems and must never share a plan, even if a future spec
+        normalisation were to canonicalise the strings.
         """
         fp = fingerprint if fingerprint is not None else matrix_fingerprint(A)
-        key = (fp, str(partition_spec), int(block_size), str(backend))
+        overlap = parse_partition_spec(str(partition_spec))[2]
+        key = (fp, str(partition_spec), int(block_size), str(backend), overlap)
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)

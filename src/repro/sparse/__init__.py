@@ -14,7 +14,7 @@ convenience.
 from .coo import COOMatrix
 from .csr import CSRMatrix, scatter_add_fold
 from .ell import ELLMatrix, SlicedELLMatrix
-from .blocked import BlockRowView, RowBlock, partition_rows, partition_rows_by_work
+from .blocked import BlockRowView, RASBlock, RowBlock, partition_rows, partition_rows_by_work
 from .linalg import (
     gershgorin_bounds,
     power_method,
@@ -30,6 +30,7 @@ __all__ = [
     "ELLMatrix",
     "SlicedELLMatrix",
     "BlockRowView",
+    "RASBlock",
     "RowBlock",
     "partition_rows",
     "partition_rows_by_work",

@@ -24,11 +24,12 @@ import numpy as np
 
 from .._util import as_index_array, check_square
 from ..partition.core import Partition
+from ..partition.halo import extract_block_system, split_block_diagonal
 from ..partition.rows import partition_rows as _partition_rows
 from ..partition.rows import partition_rows_by_work as _partition_rows_by_work
 from .csr import CSRMatrix
 
-__all__ = ["RowBlock", "BlockRowView", "partition_rows", "partition_rows_by_work"]
+__all__ = ["RASBlock", "RowBlock", "BlockRowView", "partition_rows", "partition_rows_by_work"]
 
 
 def partition_rows(n: int, block_size: Optional[int] = None, *, nblocks: Optional[int] = None) -> np.ndarray:
@@ -117,6 +118,54 @@ class RowBlock:
         return float(np.abs(self.external.data).sum())
 
 
+@dataclass
+class RASBlock:
+    """One *extended* subdomain: rows ``[elo, ehi)`` around owned ``[start, stop)``.
+
+    The restricted-additive-Schwarz analogue of :class:`RowBlock`: the
+    block reads and sweeps its owned rows plus up to ``overlap`` halo rows
+    on each side (clipped at the system boundary), but only the owned rows
+    fold back into the global iterate.
+
+    Attributes
+    ----------
+    index:
+        Position of this block in the partition.
+    start, stop:
+        Owned row range (half-open) — identical to the disjoint block's.
+    elo, ehi:
+        Extended row range including the halo.
+    diag:
+        Diagonal of the extended rows (length ``ehi - elo``).
+    local_off:
+        Square ``(ehi-elo, ehi-elo)`` CSR of in-range off-diagonal
+        couplings in extended-local column numbering — the matrix the
+        local sweeps iterate against.
+    external:
+        CSR of the extended rows' out-of-range entries, full column
+        space — the frozen "global part" of the extended system.
+    """
+
+    index: int
+    start: int
+    stop: int
+    elo: int
+    ehi: int
+    diag: np.ndarray
+    local_off: CSRMatrix
+    external: CSRMatrix
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows in the extended block."""
+        return self.ehi - self.elo
+
+    @property
+    def owned(self) -> slice:
+        """Owned rows in extended-local numbering."""
+        return slice(self.start - self.elo, self.stop - self.elo)
+
+
 class BlockRowView:
     """Precomputed row-block decomposition of a square CSR matrix.
 
@@ -195,6 +244,7 @@ class BlockRowView:
         self._ext_matrix: Optional[CSRMatrix] = None
         self._local_matrix: Optional[CSRMatrix] = None
         self._diag: Optional[np.ndarray] = None
+        self._ras_blocks: Optional[List[RASBlock]] = None
         # Compiled whole-system sweep plan (repro.perf.SweepPlan), attached
         # on first engine construction and shared by every engine built on
         # this view — the decomposition is compiled once, not per engine.
@@ -247,6 +297,30 @@ class BlockRowView:
         if self._diag is None:
             self._diag = np.concatenate([blk.diag for blk in self.blocks])
         return self._diag
+
+    def ras_blocks(self) -> List[RASBlock]:
+        """Extended block systems for restricted-Schwarz sweeps (cached).
+
+        One :class:`RASBlock` per partition block, carved at the
+        partition's :meth:`~repro.partition.Partition.halo_ranges` with the
+        shared :func:`repro.partition.extract_block_system` halo machinery.
+        At ``overlap=0`` the extended system degenerates to the disjoint
+        one, but engines never take this path then — the classic
+        :attr:`blocks` pipeline stays in sole charge.
+        """
+        if self._ras_blocks is None:
+            ranges = self.partition.halo_ranges()
+            out: List[RASBlock] = []
+            for k in range(self.nblocks):
+                start, stop = int(self.boundaries[k]), int(self.boundaries[k + 1])
+                elo, ehi = int(ranges[k, 0]), int(ranges[k, 1])
+                local, external = extract_block_system(self.matrix, elo, ehi)
+                diag, local_off = split_block_diagonal(
+                    local, label=f"extended block {k} (rows [{elo}, {ehi}))"
+                )
+                out.append(RASBlock(k, start, stop, elo, ehi, diag, local_off, external))
+            self._ras_blocks = out
+        return self._ras_blocks
 
     def warm_stacked_kernels(self) -> None:
         """Eagerly build the stacked matrices and their ELL gather plans.

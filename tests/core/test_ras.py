@@ -1,0 +1,180 @@
+"""Async restricted additive Schwarz: dispatch, parity, and the o=0 contract.
+
+The RAS executor (:mod:`repro.perf.ras`) only engages when the config
+requests a Schwarz mode *and* the partition actually carries overlap;
+everything else — including ``schwarz="ras"`` on a disjoint partition —
+must run the classic engines bitwise.  Batched RAS replicas must equal
+their sequential counterparts exactly (one shared sweep kernel).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig, BatchedAsyncEngine, BlockAsyncSolver
+from repro.core.engine import AsyncEngine
+from repro.core.fault import FaultScenario
+from repro.matrices import default_rhs
+from repro.partition import make_partition
+from repro.solvers.base import StoppingCriterion
+from repro.sparse import BlockRowView
+
+
+def _view(A, spec, block_size=16):
+    return BlockRowView(A, partition=make_partition(A, spec, block_size=block_size))
+
+
+def _cfg(**over):
+    base = dict(local_iterations=3, block_size=16, order="gpu", seed=11)
+    base.update(over)
+    return AsyncConfig(**base)
+
+
+# --------------------------------------------------------------------- #
+# Dispatch
+# --------------------------------------------------------------------- #
+
+
+def test_ras_backend_engages_only_with_overlap(small_spd):
+    b = default_rhs(small_spd)
+    eng = AsyncEngine(_view(small_spd, "uniform:16+o4"), b, _cfg(schwarz="ras"))
+    assert eng.backend == "ras"
+    # Same mode on a disjoint partition: the classic resolver runs.
+    eng0 = AsyncEngine(_view(small_spd, "uniform:16"), b, _cfg(schwarz="ras"))
+    assert eng0.backend != "ras"
+
+
+@pytest.mark.parametrize("forced", ["fused", "stencil"])
+def test_ras_rejects_forced_fast_backends(small_spd, forced):
+    b = default_rhs(small_spd)
+    view = _view(small_spd, "uniform:16+o4")
+    with pytest.raises(ValueError, match="cannot execute async-RAS"):
+        AsyncEngine(view, b, _cfg(schwarz="ras", backend=forced))
+
+
+def test_ras_rejects_fault_scenarios(small_spd):
+    b = default_rhs(small_spd)
+    view = _view(small_spd, "uniform:16+o4")
+    fault = FaultScenario(fraction=0.1, t0=1)
+    with pytest.raises(ValueError, match="fault"):
+        AsyncEngine(view, b, _cfg(schwarz="ras"), fault=fault)
+
+
+def test_method_names():
+    assert _cfg().method_name == "async-(3)"
+    assert _cfg(schwarz="ras", partition="uniform:16+o4").method_name == "async-RAS(3,o4)"
+    assert _cfg(schwarz="wras", partition="uniform:16+o4").method_name == "async-wRAS(3,o4)"
+    # Requested but inert: the name must not claim RAS ran.
+    assert _cfg(schwarz="ras", partition="uniform:16").method_name == "async-(3)"
+
+
+# --------------------------------------------------------------------- #
+# The overlap-0 bitwise contract
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("schwarz", ["ras", "wras"])
+def test_schwarz_without_overlap_is_bitwise_the_classic_engine(small_spd, schwarz):
+    b = default_rhs(small_spd)
+    x_none = np.zeros(small_spd.shape[0])
+    x_req = np.zeros(small_spd.shape[0])
+    eng_none = AsyncEngine(_view(small_spd, "uniform:16"), b, _cfg())
+    eng_req = AsyncEngine(_view(small_spd, "uniform:16+o0"), b, _cfg(schwarz=schwarz))
+    assert eng_req.backend == eng_none.backend
+    for _ in range(10):
+        eng_none.sweep(x_none)
+        eng_req.sweep(x_req)
+    assert np.array_equal(x_none, x_req)
+
+
+def test_solver_path_overlap_zero_bitwise(trefethen_small):
+    b = default_rhs(trefethen_small)
+    stop = StoppingCriterion(tol=1e-10, maxiter=120)
+    r0 = BlockAsyncSolver(_cfg(partition="uniform:32"), stopping=stop).solve(
+        trefethen_small, b
+    )
+    r1 = BlockAsyncSolver(
+        _cfg(partition="uniform:32+o0", schwarz="ras"), stopping=stop
+    ).solve(trefethen_small, b)
+    assert r1.method == r0.method == "async-(3)"
+    assert np.array_equal(r0.x, r1.x)
+    assert np.array_equal(r0.residuals, r1.residuals)
+
+
+# --------------------------------------------------------------------- #
+# RAS semantics
+# --------------------------------------------------------------------- #
+
+
+def test_ras_reduces_sweeps_on_fv1(fv1):
+    b = default_rhs(fv1)
+    stop = StoppingCriterion(tol=1e-10, maxiter=150)
+    cfg = dict(local_iterations=5, block_size=128, order="gpu", seed=0)
+    base = BlockAsyncSolver(
+        AsyncConfig(partition="uniform:128", **cfg), stopping=stop
+    ).solve(fv1, b)
+    ras = BlockAsyncSolver(
+        AsyncConfig(partition="uniform:128+o32", schwarz="ras", **cfg), stopping=stop
+    ).solve(fv1, b)
+    assert base.converged and ras.converged
+    assert ras.iterations < base.iterations
+    assert ras.method == "async-RAS(5,o32)"
+
+
+@pytest.mark.parametrize("schwarz", ["ras", "wras"])
+def test_schwarz_modes_converge(small_spd, schwarz):
+    b = default_rhs(small_spd)
+    solver = BlockAsyncSolver(
+        _cfg(partition="uniform:16+o4", schwarz=schwarz),
+        stopping=StoppingCriterion(tol=1e-12, maxiter=200),
+    )
+    result = solver.solve(small_spd, b)
+    assert result.converged
+    r = small_spd.matvec(result.x) - b
+    assert np.linalg.norm(r) <= 1e-12 * np.linalg.norm(b) * 10
+
+
+def test_ras_update_counts_cover_every_block(small_spd):
+    b = default_rhs(small_spd)
+    view = _view(small_spd, "uniform:16+o4")
+    eng = AsyncEngine(view, b, _cfg(schwarz="ras"))
+    x = np.zeros(small_spd.shape[0])
+    for _ in range(7):
+        eng.sweep(x)
+    assert np.all(eng.update_counts == 7)
+
+
+# --------------------------------------------------------------------- #
+# Batched parity
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("schwarz", ["ras", "wras"])
+def test_batched_ras_matches_sequential_bitwise(small_spd, schwarz):
+    b = default_rhs(small_spd)
+    cfg = _cfg(schwarz=schwarz, seed=7)
+    view = _view(small_spd, "uniform:16+o4")
+    nrep, sweeps = 4, 9
+    bat = BatchedAsyncEngine(view, b, cfg, nreplicas=nrep, seed0=7)
+    assert bat.backend == "ras"
+    X = np.zeros((nrep, small_spd.shape[0]))
+    for _ in range(sweeps):
+        bat.sweep(X)
+    for r in range(nrep):
+        seq = AsyncEngine(
+            _view(small_spd, "uniform:16+o4"),
+            b,
+            dataclasses.replace(cfg, seed=7 + r),
+        )
+        x = np.zeros(small_spd.shape[0])
+        for _ in range(sweeps):
+            seq.sweep(x)
+        assert np.array_equal(X[r], x), f"replica {r} diverged from sequential"
+
+
+def test_batched_ras_rejects_forced_fast_backends(small_spd):
+    b = default_rhs(small_spd)
+    view = _view(small_spd, "uniform:16+o4")
+    with pytest.raises(ValueError, match="cannot execute async-RAS"):
+        BatchedAsyncEngine(view, b, _cfg(schwarz="ras", backend="fused"), nreplicas=2)

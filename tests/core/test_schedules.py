@@ -40,11 +40,33 @@ def test_method_name():
         dict(omega=0.0),
         dict(pattern_pool=0),
         dict(jitter_swaps=-1),
+        dict(backend="cuda"),
+        dict(schwarz="as"),
+        # The partition spec is validated at config construction, so a
+        # typo is caught where it is written, not at first solve.
+        dict(partition=""),
+        dict(partition="zigzag"),
+        dict(partition="uniform:abc"),
+        dict(partition="uniform: 4"),
+        dict(partition="uniform:4+o"),
+        dict(partition="uniform:4+x2"),
     ],
 )
 def test_config_validation(kw):
     with pytest.raises(ValueError):
         AsyncConfig(**kw)
+
+
+def test_config_schwarz_overlap_and_method_name():
+    assert AsyncConfig().schwarz_overlap == 0
+    assert AsyncConfig(partition="uniform:16+o4").schwarz_overlap == 0  # no mode
+    cfg = AsyncConfig(partition="uniform:16+o4", schwarz="ras", local_iterations=2)
+    assert cfg.schwarz_overlap == 4
+    assert cfg.method_name == "async-RAS(2,o4)"
+    # Mode requested on a disjoint partition: inert, and named as such.
+    inert = AsyncConfig(partition="uniform:16", schwarz="ras", local_iterations=2)
+    assert inert.schwarz_overlap == 0
+    assert inert.method_name == "async-(2)"
 
 
 def test_update_orders_registry():

@@ -119,18 +119,54 @@ def test_registry_lists_the_four_builtin_strategies():
 
 
 def test_parse_partition_spec():
-    assert parse_partition_spec("uniform") == ("uniform", None)
-    assert parse_partition_spec("work_balanced:16") == ("work_balanced", 16)
+    assert parse_partition_spec("uniform") == ("uniform", None, 0)
+    assert parse_partition_spec("work_balanced:16") == ("work_balanced", 16, 0)
+    assert parse_partition_spec("uniform+o2") == ("uniform", None, 2)
+    assert parse_partition_spec("work_balanced:8+o2") == ("work_balanced", 8, 2)
     with pytest.raises(ValueError, match="unknown partition strategy"):
         parse_partition_spec("zigzag")
     with pytest.raises(ValueError, match="must be an integer"):
         parse_partition_spec("uniform:abc")
     with pytest.raises(ValueError, match="must be positive"):
         parse_partition_spec("uniform:0")
-    with pytest.raises(ValueError, match="must be positive"):
+    # Signs are not part of the digit grammar (int() would accept them).
+    with pytest.raises(ValueError, match="must be an integer"):
         parse_partition_spec("uniform:-4")
     with pytest.raises(ValueError, match="must be a string"):
         parse_partition_spec(42)
+
+
+def test_parse_partition_spec_rejects_malformed_input():
+    # Empty / missing strategy name.
+    with pytest.raises(ValueError, match="empty strategy name"):
+        parse_partition_spec("")
+    with pytest.raises(ValueError, match="empty strategy name"):
+        parse_partition_spec(":4")
+    with pytest.raises(ValueError, match="empty strategy name"):
+        parse_partition_spec("+o2")
+    # Non-integer params: int() would accept surrounding whitespace and
+    # signs, the spec grammar must not.
+    with pytest.raises(ValueError, match="must be an integer"):
+        parse_partition_spec("uniform: 4")
+    with pytest.raises(ValueError, match="must be an integer"):
+        parse_partition_spec("uniform:4 ")
+    # "+" always starts the overlap suffix, so a signed param parses as a
+    # malformed suffix — still rejected, with the suffix grammar named.
+    with pytest.raises(ValueError, match="overlap suffix"):
+        parse_partition_spec("uniform:+4")
+    # Malformed overlap suffixes.
+    with pytest.raises(ValueError, match="overlap suffix"):
+        parse_partition_spec("uniform:4+o")
+    with pytest.raises(ValueError, match="overlap suffix"):
+        parse_partition_spec("uniform:4+x2")
+    with pytest.raises(ValueError, match="overlap suffix"):
+        parse_partition_spec("uniform:4+o-1")
+    with pytest.raises(ValueError, match="overlap suffix"):
+        parse_partition_spec("uniform:4+o2+o3")
+    with pytest.raises(ValueError, match="overlap suffix"):
+        parse_partition_spec("uniform:4+o2 ")
+    # +o0 is redundant but well-formed: means "no overlap" explicitly.
+    assert parse_partition_spec("uniform+o0") == ("uniform", None, 0)
 
 
 def test_make_partition_uniform_matches_partition_rows(trefethen_small):

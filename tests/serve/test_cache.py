@@ -118,3 +118,39 @@ def test_service_routes_forced_backend_to_its_own_entry(small_spd):
     assert r3.completed and service.cache.stats()["hits"] == 1
     # Identical iterates regardless of which entry served the request.
     assert np.array_equal(r2.result.x, r3.result.x)
+
+
+def test_overlap_is_part_of_the_cache_key(small_spd):
+    # Two requests differing only in the +oK overlap suffix compile
+    # different extended block systems and must never share a plan.
+    cache = PlanCache()
+    before = plan_compile_count()
+    e0, hit = cache.lookup(small_spd, "uniform:10", 10)
+    assert hit is False and plan_compile_count() == before + 1
+    e2, hit = cache.lookup(small_spd, "uniform:10+o2", 10)
+    assert hit is False and e2 is not e0
+    assert plan_compile_count() == before + 2  # second compilation happened
+    assert e0.key[4] == 0 and e2.key[4] == 2
+    assert e2.partition.overlap == 2
+    # Each spec still hits its own entry.
+    _, hit = cache.lookup(small_spd, "uniform:10+o2", 10)
+    assert hit is True
+    assert plan_compile_count() == before + 2
+    assert len(cache) == 2
+
+
+def test_service_jobs_differing_only_in_overlap_compile_separately(small_spd):
+    from repro.core import AsyncConfig
+    from repro.serve import SolveService
+
+    b = small_spd.matvec(np.ones(small_spd.shape[0]))
+    service = SolveService()
+    cfg = dict(local_iterations=2, block_size=10)
+    r1 = service.solve(small_spd, b, config=AsyncConfig(partition="uniform:10", **cfg))
+    r2 = service.solve(
+        small_spd, b,
+        config=AsyncConfig(partition="uniform:10+o3", schwarz="ras", **cfg),
+    )
+    assert r1.completed and r2.completed
+    assert service.cache.stats()["misses"] == 2
+    assert service.cache.stats()["hits"] == 0

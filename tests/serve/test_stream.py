@@ -96,3 +96,29 @@ def test_run_job_stream_bad_line_reports_lineno(small_spd):
             service,
             load_matrix=_loader(small_spd),
         )
+
+
+def test_parse_job_schwarz_override(small_spd):
+    service = SolveService()
+    req = parse_job(
+        {"matrix": "toy", "partition": "uniform:10+o2", "schwarz": "ras"},
+        service,
+        load_matrix=_loader(small_spd),
+    )
+    assert req.config.schwarz == "ras"
+    assert req.config.partition == "uniform:10+o2"
+    assert req.config.schwarz_overlap == 2
+
+
+def test_parse_job_rejects_bad_schwarz_and_spec(small_spd):
+    service = SolveService()
+    with pytest.raises(JobStreamError, match="schwarz"):
+        parse_job(
+            {"matrix": "toy", "schwarz": "as"}, service, load_matrix=_loader(small_spd)
+        )
+    with pytest.raises(JobStreamError, match="overlap suffix"):
+        parse_job(
+            {"matrix": "toy", "partition": "uniform:4+x2"},
+            service,
+            load_matrix=_loader(small_spd),
+        )

@@ -246,3 +246,40 @@ def test_serve_command_bad_job_errors(tmp_path, capsys):
     jobs.write_text('{"matrix": "Trefethen_2000", "typo_key": 1}\n')
     assert main(["serve", str(jobs)]) == 2
     assert "unknown job keys" in capsys.readouterr().err
+
+
+def test_solve_schwarz_ras(capsys):
+    code = main(
+        ["solve", "Trefethen_2000", "--solver", "async", "--local-iterations", "3",
+         "--partition", "uniform:32+o8", "--schwarz", "ras",
+         "--tol", "1e-8", "--maxiter", "300"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "async-RAS(3,o8)" in out
+    assert "converged: True" in out
+
+
+def test_solve_bad_partition_spec_is_a_clean_error(capsys):
+    # Spec validation surfaces as an actionable CLI error (exit 2), not a
+    # traceback — at the solver-construction level where AsyncConfig parses.
+    code = main(["solve", "fv1", "--solver", "async", "--partition", "uniform:abc"])
+    assert code == 2
+    assert "must be an integer" in capsys.readouterr().err
+    code = main(["solve", "fv1", "--solver", "async", "--partition", "uniform:4+x2"])
+    assert code == 2
+    assert "overlap suffix" in capsys.readouterr().err
+
+
+def test_serve_schwarz_flag_threads_to_config(tmp_path, capsys):
+    import json
+
+    jobs = tmp_path / "jobs.jsonl"
+    jobs.write_text('{"matrix": "Trefethen_2000", "id": "r", "tol": 1e-6}\n')
+    code = main(
+        ["serve", str(jobs), "--partition", "uniform:64+o8", "--schwarz", "ras",
+         "--block-size", "64", "--local-iterations", "3", "--maxiter", "600"]
+    )
+    assert code == 0
+    response = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+    assert response["status"] == "completed"
