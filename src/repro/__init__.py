@@ -28,6 +28,11 @@ Package map
   SOR (level-scheduled), CG, τ-scaling.
 * :mod:`repro.core`        — the contribution: wave schedules, the
   asynchronous engine, ``async-(k)``, fault scenarios, convergence theory.
+* :mod:`repro.krylov`      — async sweeps as fixed linear operators inside
+  deterministic outer solvers: two-stage preconditioners
+  (``AsyncSweepPreconditioner`` / ``JacobiPreconditioner``), first/
+  second-order Richardson with heavy-ball momentum, and the
+  ``--method``/``--precond`` factory shared by CLI and serve.
 * :mod:`repro.gpu`         — the simulated GPU substrate: devices,
   streams/event simulation, calibrated timing, multi-GPU strategies.
 * :mod:`repro.dist`        — multiprocess sharding: two-stage

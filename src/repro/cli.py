@@ -48,7 +48,7 @@ def _load_matrix(spec: str):
         return read_matrix_market(spec)
 
 
-def _build_solver(args, recorder=None):
+def _build_solver(args, recorder=None, A=None):
     from .core import BlockAsyncSolver
     from .experiments.runner import paper_async_config
     from .solvers import (
@@ -66,6 +66,33 @@ def _build_solver(args, recorder=None):
     stopping = StoppingCriterion(tol=args.tol, maxiter=args.maxiter)
     every = getattr(args, "residual_every", 1)
     kwargs = {"stopping": stopping, "residual_every": every, "recorder": recorder}
+    method = getattr(args, "method", None)
+    precond = getattr(args, "precond", "none")
+    if method is not None:
+        # The krylov outer-solver layer: --method overrides --solver, the
+        # async knobs parameterise the preconditioner's inner sweeps.
+        from .krylov import make_outer_solver
+
+        cfg = paper_async_config(
+            args.local_iterations,
+            block_size=args.block_size,
+            seed=args.seed,
+            omega=args.omega,
+            backend=args.backend,
+            partition=getattr(args, "partition", "uniform"),
+            schwarz=getattr(args, "schwarz", "none"),
+            residual_every=every,
+        )
+        return make_outer_solver(
+            method,
+            A,
+            precond=precond,
+            config=cfg,
+            restart=getattr(args, "restart", 30),
+            **kwargs,
+        )
+    if precond not in (None, "none"):
+        raise ValueError("--precond requires --method (e.g. --method pcg)")
     name = args.solver
     if name == "jacobi":
         return JacobiSolver(omega=args.omega, **kwargs)
@@ -163,7 +190,7 @@ def _cmd_solve(args) -> int:
     try:
         # Solver construction validates the partition spec and backend;
         # solve() rejects e.g. --backend=fused in a non-exact regime.
-        solver = _build_solver(args, recorder=recorder)
+        solver = _build_solver(args, recorder=recorder, A=A)
         result = solver.solve(A, b)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -319,6 +346,21 @@ def build_parser() -> argparse.ArgumentParser:
     ps = sub.add_parser("solve", help="run a solver on a matrix")
     ps.add_argument("matrix", help="suite name or MatrixMarket file")
     ps.add_argument("--solver", choices=SOLVER_CHOICES, default="async")
+    ps.add_argument(
+        "--method",
+        choices=("cg", "pcg", "gmres", "richardson", "richardson2"),
+        default=None,
+        help="krylov outer-solver layer (overrides --solver); the async "
+        "knobs parameterise the preconditioner's inner sweeps",
+    )
+    ps.add_argument(
+        "--precond",
+        default="none",
+        metavar="SPEC",
+        help="preconditioner for --method: none, jacobi, async or async:K "
+        "(K inner sweeps per application)",
+    )
+    ps.add_argument("--restart", type=int, default=30, help="GMRES restart length")
     ps.add_argument("--local-iterations", type=int, default=5, help="k in async-(k)")
     ps.add_argument("--block-size", type=int, default=448)
     ps.add_argument("--omega", type=float, default=1.0, help="relaxation weight")
@@ -442,7 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     pv.set_defaults(func=_cmd_serve)
 
     pe = sub.add_parser("experiment", help="regenerate a paper artifact")
-    pe.add_argument("id", help="artifact id (T1..F11, X1..X8, A1..A5), 'list', or 'all'")
+    pe.add_argument("id", help="artifact id (T1..F11, X1..X9, A1..A5), 'list', or 'all'")
     pe.add_argument("--outdir", default=None, help="output directory for 'all'")
     pe.add_argument("--full", action="store_true", help="paper-scale parameters")
     pe.add_argument("--json", action="store_true", help="emit JSON instead of tables")

@@ -17,8 +17,9 @@
 from __future__ import annotations
 
 from ..core import BlockAsyncSolver
-from ..extensions import AsyncPreconditioner, MultigridPoisson, SmootherSpec
+from ..extensions import MultigridPoisson, SmootherSpec
 from ..gpu.timing import IterationCostModel
+from ..krylov import AsyncSweepPreconditioner
 from ..matrices import default_rhs, get_matrix
 from ..matrices.rcm import bandwidth, permute_symmetric, reverse_cuthill_mckee
 from ..solvers import ConjugateGradientSolver, StoppingCriterion
@@ -62,7 +63,7 @@ def run_x2(quick: bool = True) -> ExperimentResult:
         b = default_rhs(A)
         stop = StoppingCriterion(tol=1e-12, maxiter=6000)
         cg = ConjugateGradientSolver(stopping=stop).solve(A, b)
-        M = AsyncPreconditioner(A, sweeps=2)
+        M = AsyncSweepPreconditioner(A, sweeps=2)
         pcg = ConjugateGradientSolver(preconditioner=M, stopping=stop).solve(A, b)
         # Modelled time: PCG pays ~2 async sweeps + 1 CG iteration per step.
         t_cg = cg.iterations * model.per_iteration("cg", name)

@@ -47,6 +47,7 @@ def _build() -> Dict[str, Experiment]:
         exp_fig8,
         exp_fig9,
         exp_fig11,
+        exp_krylov,
         exp_ras,
         exp_stencil,
         exp_table1,
@@ -76,6 +77,7 @@ def _build() -> Dict[str, Experiment]:
         Experiment("X6", "Extension: multiprocess sharding scaling", exp_dist.run),
         Experiment("X7", "Extension: matrix-free stencil backend", exp_stencil.run),
         Experiment("X8", "Extension: asynchronous restricted additive Schwarz", exp_ras.run),
+        Experiment("X9", "Extension: krylov preconditioning layer", exp_krylov.run),
         Experiment("A1", "Ablations: staleness / block size / order / sync-vs-async", exp_ablations.run),
     ]
     reg = {e.id: e for e in entries}

@@ -26,10 +26,10 @@ from typing import List, Optional
 import numpy as np
 
 from .._util import RNGLike
-from ..core.engine import AsyncEngine
 from ..core.schedules import AsyncConfig
+from ..krylov import AsyncSweepPreconditioner
 from ..matrices.grids import stencil_laplacian_2d
-from ..sparse import BlockRowView, CSRMatrix
+from ..sparse import CSRMatrix
 
 __all__ = ["SmootherSpec", "MultigridPoisson"]
 
@@ -81,7 +81,7 @@ class _Level:
         self.inv_diag = 1.0 / d
         self._gs_sweep = None
         self._upper = None
-        self._async_view: Optional[BlockRowView] = None
+        self._async_smoother: Optional[AsyncSweepPreconditioner] = None
         if spec.kind == "gauss-seidel":
             from ..solvers.triangular import TriangularSweep
 
@@ -89,8 +89,19 @@ class _Level:
             self._gs_sweep = TriangularSweep(lower.add(CSRMatrix.diagonal_matrix(d)))
             self._upper = self.A.upper_triangle(strict=True)
         elif spec.kind == "async":
-            bs = min(spec.block_size, self.n)
-            self._async_view = BlockRowView(self.A, block_size=bs)
+            # Smoothers and preconditioners share one code path: the
+            # unfrozen (freeze=False) AsyncSweepPreconditioner keeps the
+            # nondeterministic schedule verbatim and smooths from the
+            # current iterate through the shared compiled-plan view.
+            cfg = AsyncConfig(
+                local_iterations=spec.local_iterations,
+                block_size=min(spec.block_size, self.n),
+                omega=spec.omega,
+                seed=spec.seed,
+            )
+            self._async_smoother = AsyncSweepPreconditioner(
+                self.A, sweeps=spec.sweeps, config=cfg, symmetrize=False, freeze=False
+            )
 
     def smooth(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
         spec = self.spec
@@ -104,19 +115,10 @@ class _Level:
                 rhs = b - self._upper.matvec(x)
                 x = self._gs_sweep.solve(rhs, out=x)
             return x
-        # async-(k): a fresh engine per smoothing call so the V-cycle's
+        # async-(k): smooth() runs a fresh engine per call so the V-cycle's
         # smoother is a fixed-length operator (same sweep count each visit);
         # the schedule stays nondeterministic across seeds as on hardware.
-        cfg = AsyncConfig(
-            local_iterations=spec.local_iterations,
-            block_size=min(spec.block_size, self.n),
-            omega=spec.omega,
-            seed=spec.seed,
-        )
-        engine = AsyncEngine(self._async_view, b, cfg)
-        for _ in range(spec.sweeps):
-            x = engine.sweep(x)
-        return x
+        return self._async_smoother.smooth(x, b)
 
 
 class MultigridPoisson:

@@ -1,60 +1,43 @@
-"""async-(k) sweeps as a preconditioner (paper §5 outlook).
+"""Deprecated home of the async-sweep preconditioner.
 
-A fixed number of block-asynchronous sweeps from a zero initial guess is a
-*linear* operator ``z = P r`` (every update is linear in the inputs), so it
-can serve as a preconditioner.  Two caveats, handled explicitly:
+The prototype that lived here was promoted to the first-class
+:mod:`repro.krylov` subsystem — see
+:class:`repro.krylov.AsyncSweepPreconditioner` (compile-once engines, the
+snapshot/spectrum-bounds regime, smoother mode) and the outer-solver
+factory :func:`repro.krylov.make_outer_solver`.
 
-* **Fixed schedule** — a preconditioner must be the *same* operator at
-  every CG iteration, so the sweeps here run with a deterministic
-  ``sequential`` schedule re-created identically per application (no
-  cross-application nondeterminism).
-* **Symmetry** — sequential block sweeps make P mildly nonsymmetric, which
-  standard CG theory does not cover.  In practice (and in the X2
-  benchmark) PCG with this operator converges robustly on the suite's SPD
-  systems and cuts iteration counts several-fold; the ``symmetrize`` option
-  applies a forward-then-reverse sweep pair (an SSOR-like symmetrisation)
-  for a theoretically cleaner operator.
+:class:`AsyncPreconditioner` remains importable as a thin shim that warns
+and delegates; it reproduces the historical behaviour bit-for-bit
+(including the unconditional forcing of the forward order to
+``"sequential"``, where the new class keeps an already-deterministic
+requested order).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Optional
 
-import numpy as np
-
-from ..core.engine import AsyncEngine
 from ..core.schedules import AsyncConfig
-from ..sparse import BlockRowView, CSRMatrix
+from ..krylov import AsyncSweepPreconditioner
+from ..sparse import CSRMatrix
 
 __all__ = ["AsyncPreconditioner"]
 
 
-class AsyncPreconditioner:
-    """``M⁻¹ ≈`` a few async-(k) sweeps on ``A z = r``.
-
-    Parameters
-    ----------
-    A:
-        The SPD system matrix.
-    sweeps:
-        Global sweeps per application (1–3 are typical).
-    config:
-        Asynchronism parameters; the ``order`` is forced to
-        ``"sequential"`` and the seed fixed so every application is the
-        same linear operator.
-    symmetrize:
-        Apply a forward sweep set followed by a reversed one (default; the
-        one-sided operator's asymmetry breaks CG on strongly graded
-        systems, while the forward/reverse pair behaves like a block-SSOR
-        operator and is robust).
+class AsyncPreconditioner(AsyncSweepPreconditioner):
+    """Deprecated alias of :class:`repro.krylov.AsyncSweepPreconditioner`.
 
     Examples
     --------
-    >>> from repro import ConjugateGradientSolver, get_matrix, default_rhs
-    >>> A = get_matrix("fv1"); b = default_rhs(A)
-    >>> M = AsyncPreconditioner(A, sweeps=2)
-    >>> pcg = ConjugateGradientSolver(preconditioner=M)
+    >>> import warnings
+    >>> from repro import get_matrix
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     M = AsyncPreconditioner(get_matrix("fv1"), sweeps=2)
+    >>> M.config.order
+    'sequential'
     """
 
     def __init__(
@@ -65,26 +48,14 @@ class AsyncPreconditioner:
         *,
         symmetrize: bool = True,
     ):
-        if sweeps < 1:
-            raise ValueError("sweeps must be >= 1")
-        base = config if config is not None else AsyncConfig(local_iterations=2, block_size=256)
-        self.config = dataclasses.replace(
-            base, order="sequential", stale_read_prob=0.0, deferred_write_prob=0.0, seed=0
+        warnings.warn(
+            "repro.extensions.precond.AsyncPreconditioner has moved to "
+            "repro.krylov.AsyncSweepPreconditioner",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.reverse_config = dataclasses.replace(self.config, order="reversed")
-        self.sweeps = sweeps
-        self.symmetrize = symmetrize
-        self.A = A
-        self.view = BlockRowView(A, block_size=self.config.block_size)
-
-    def __call__(self, r: np.ndarray) -> np.ndarray:
-        """Apply the preconditioner: approximate ``A z = r`` from zero."""
-        z = np.zeros_like(r)
-        engine = AsyncEngine(self.view, r, self.config)
-        for _ in range(self.sweeps):
-            z = engine.sweep(z)
-        if self.symmetrize:
-            engine = AsyncEngine(self.view, r, self.reverse_config)
-            for _ in range(self.sweeps):
-                z = engine.sweep(z)
-        return z
+        if config is not None:
+            # Historical contract: the forward order was always forced to
+            # "sequential" regardless of the requested one.
+            config = dataclasses.replace(config, order="sequential")
+        super().__init__(A, sweeps, config, symmetrize=symmetrize)

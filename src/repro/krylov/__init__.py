@@ -1,0 +1,47 @@
+"""Krylov preconditioning: async sweeps as an inner component (§5 outlook).
+
+The unified outer-solver layer: deterministic Krylov/Richardson outer
+iterations (CG, GMRES, first/second-order Richardson — all on the
+instrumented :class:`~repro.runtime.RunLoop`) wrapped around fixed-length
+block-asynchronous inner sweeps packaged as linear operators.
+
+* :class:`Preconditioner` — the operator protocol (``z = P r`` + name).
+* :class:`AsyncSweepPreconditioner` — two-stage async-(k) inner sweeps,
+  compile-once, optionally symmetrized; doubles as the multigrid smoother
+  via ``freeze=False``/``smooth()``.
+* :class:`JacobiPreconditioner` — the diagonal-scaling baseline.
+* :class:`AsyncRichardsonSolver` — first/second-order (heavy-ball)
+  Richardson whose relaxation step is the ordinary async engine sweep.
+* :func:`make_outer_solver` / :func:`make_preconditioner` — the string-spec
+  construction path shared by the CLI and the serve job stream.
+"""
+
+from ..solvers.cg import ConjugateGradientSolver
+from ..solvers.gmres import GMRESSolver
+from .factory import (
+    OUTER_METHODS,
+    PRECOND_KINDS,
+    make_outer_solver,
+    make_preconditioner,
+    parse_precond_spec,
+)
+from .preconditioners import (
+    AsyncSweepPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+)
+from .richardson import AsyncRichardsonSolver
+
+__all__ = [
+    "Preconditioner",
+    "AsyncSweepPreconditioner",
+    "JacobiPreconditioner",
+    "AsyncRichardsonSolver",
+    "ConjugateGradientSolver",
+    "GMRESSolver",
+    "OUTER_METHODS",
+    "PRECOND_KINDS",
+    "parse_precond_spec",
+    "make_preconditioner",
+    "make_outer_solver",
+]

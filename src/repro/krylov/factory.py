@@ -1,0 +1,125 @@
+"""Build outer solvers and preconditioners from string specs.
+
+One construction path shared by the solve CLI (``--method``/``--precond``)
+and the serve job stream (``method``/``precond`` request fields), so both
+layers accept the identical vocabulary:
+
+* methods — ``cg``, ``pcg``, ``gmres``, ``richardson``, ``richardson2``
+  (``"async"`` stays the engines' native path and is not built here);
+* preconditioner specs — ``none``, ``jacobi``, ``async`` or ``async:K``
+  (``K`` inner sweeps per application, default 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.schedules import AsyncConfig
+from ..solvers.base import IterativeSolver, StoppingCriterion
+from ..solvers.cg import ConjugateGradientSolver
+from ..solvers.gmres import GMRESSolver
+from ..sparse import BlockRowView, CSRMatrix
+from .preconditioners import AsyncSweepPreconditioner, JacobiPreconditioner, Preconditioner
+from .richardson import AsyncRichardsonSolver
+
+__all__ = [
+    "OUTER_METHODS",
+    "PRECOND_KINDS",
+    "parse_precond_spec",
+    "make_preconditioner",
+    "make_outer_solver",
+]
+
+#: Krylov/Richardson outer-solver methods this factory can build.
+OUTER_METHODS = ("cg", "pcg", "gmres", "richardson", "richardson2")
+
+#: Recognised preconditioner families.
+PRECOND_KINDS = ("none", "jacobi", "async")
+
+#: Inner sweeps per application when ``async`` is given without ``:K``.
+DEFAULT_ASYNC_SWEEPS = 2
+
+
+def parse_precond_spec(spec: Optional[str]) -> Tuple[str, Optional[int]]:
+    """``"async:3"`` → ``("async", 3)``; ``None``/``"none"`` → ``("none", None)``."""
+    if spec is None or spec == "none":
+        return "none", None
+    kind, sep, arg = spec.partition(":")
+    if kind not in PRECOND_KINDS:
+        raise ValueError(f"unknown preconditioner {spec!r}; kinds: {PRECOND_KINDS}")
+    if not sep:
+        return kind, DEFAULT_ASYNC_SWEEPS if kind == "async" else None
+    if kind != "async":
+        raise ValueError(f"only 'async' takes a :K sweep count, got {spec!r}")
+    try:
+        sweeps = int(arg)
+    except ValueError:
+        raise ValueError(f"bad sweep count in {spec!r}") from None
+    if sweeps < 1:
+        raise ValueError(f"sweep count must be >= 1, got {sweeps}")
+    return kind, sweeps
+
+
+def make_preconditioner(
+    spec: Optional[str],
+    A: CSRMatrix,
+    *,
+    config: Optional[AsyncConfig] = None,
+    view: Optional[BlockRowView] = None,
+) -> Optional[Preconditioner]:
+    """Build the preconditioner named by *spec* (``None`` for ``"none"``).
+
+    *config* parameterises the async family's inner sweeps (frozen by the
+    preconditioner as needed); *view* shares a pre-compiled block view,
+    e.g. a serve ``PlanCache`` entry, and must match the config's
+    partitioning.
+    """
+    kind, sweeps = parse_precond_spec(spec)
+    if kind == "none":
+        return None
+    if kind == "jacobi":
+        return JacobiPreconditioner(A)
+    return AsyncSweepPreconditioner(A, sweeps=sweeps, config=config, view=view)
+
+
+def make_outer_solver(
+    method: str,
+    A: CSRMatrix,
+    *,
+    precond: Optional[str] = None,
+    config: Optional[AsyncConfig] = None,
+    stopping: Optional[StoppingCriterion] = None,
+    restart: int = 30,
+    view: Optional[BlockRowView] = None,
+    **loop_options,
+) -> IterativeSolver:
+    """Build the outer solver named by *method*, preconditioner included.
+
+    ``pcg`` defaults *precond* to ``"async"``; ``cg``/``gmres`` default to
+    none.  The Richardson methods interpret ``async:K`` as the sweep
+    count of their self-built inner operator (auto-tuned for
+    ``richardson2``), and accept ``jacobi`` directly.  Extra keyword
+    arguments are :class:`~repro.solvers.IterativeSolver` loop options
+    (``recorder=``, ``residual_every=``).
+    """
+    if method in ("richardson", "richardson2"):
+        kind, sweeps = parse_precond_spec(precond)
+        precond_obj = JacobiPreconditioner(A) if kind == "jacobi" else None
+        return AsyncRichardsonSolver(
+            config,
+            order=2 if method == "richardson2" else 1,
+            sweeps=sweeps if kind == "async" else 1,
+            preconditioner=precond_obj,
+            view=view,
+            stopping=stopping,
+            **loop_options,
+        )
+    if method == "pcg" and (precond is None or precond == "none"):
+        precond = "async"
+    if method in ("cg", "pcg"):
+        M = make_preconditioner(precond, A, config=config, view=view)
+        return ConjugateGradientSolver(preconditioner=M, stopping=stopping, **loop_options)
+    if method == "gmres":
+        M = make_preconditioner(precond, A, config=config, view=view)
+        return GMRESSolver(restart=restart, preconditioner=M, stopping=stopping, **loop_options)
+    raise ValueError(f"unknown method {method!r}; options: {OUTER_METHODS}")

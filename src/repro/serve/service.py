@@ -204,7 +204,13 @@ class SolveService:
             submitted_at=now,
             config=config,
             stopping=stopping,
-            batch_key=batch_key_of(matrix_fingerprint(request.A), config, stopping),
+            batch_key=batch_key_of(
+                matrix_fingerprint(request.A),
+                config,
+                stopping,
+                request.method,
+                request.precond,
+            ),
         )
         self._stats.submitted += 1
         rejected = self._queue.push(job)
@@ -288,7 +294,9 @@ class SolveService:
             fingerprint=fp,
         )
         admitted_at = self._clock()
-        if len(batch) == 1:
+        if batch[0].request.method != "async":
+            results = self._run_krylov(entry, batch)
+        elif len(batch) == 1:
             results = [self._run_single(entry, batch[0])]
         else:
             results = self._run_batched(entry, batch)
@@ -320,6 +328,43 @@ class SolveService:
                 )
             )
         return responses
+
+    def _run_krylov(self, entry, batch: List[_Job]) -> List[SolveResult]:
+        """Krylov-method jobs: per-request outer solves, shared inner plan.
+
+        The outer recurrences (CG/GMRES/Richardson) don't stack into a
+        multi-vector sweep stream, so each request solves on its own —
+        but the batch shares one solver whose preconditioner's inner
+        sweeps compiled once against the cached ``PlanCache`` view, and
+        every solve lands on the service recorder.
+        """
+        from ..krylov import make_outer_solver
+
+        job0 = batch[0]
+        solver = make_outer_solver(
+            job0.request.method,
+            entry.view.matrix,
+            precond=job0.request.precond,
+            config=job0.config,
+            stopping=job0.stopping,
+            view=entry.view,
+            residual_every=job0.config.residual_every,
+            recorder=self.recorder,
+        )
+        results = []
+        for job in batch:
+            result = solver.solve(entry.view.matrix, job.request.b)
+            notes = {
+                "request_id": job.request.request_id,
+                "batch_size": len(batch),
+                "batched": False,
+                "method": job.request.method,
+            }
+            if job.request.precond is not None:
+                notes["precond"] = job.request.precond
+            self.recorder.annotate(**notes)
+            results.append(result)
+        return results
 
     def _run_single(self, entry, job: _Job) -> SolveResult:
         """One lone request: the sequential engine on the cached view."""

@@ -17,6 +17,13 @@ Recognised keys (all optional except ``matrix``):
     job's ``seed``) or an explicit list of values.
 ``id`` / ``priority`` / ``timeout`` / ``seed``
     Per-request fields of :class:`repro.serve.SolveRequest`.
+``method`` / ``precond``
+    Outer-solver selection: ``method`` is ``"async"`` (default) or a
+    :data:`repro.krylov.OUTER_METHODS` name (``"cg"``, ``"pcg"``,
+    ``"gmres"``, ``"richardson"``, ``"richardson2"``); ``precond`` is a
+    preconditioner spec (``"none"``/``"jacobi"``/``"async"``/``"async:K"``)
+    whose inner sweeps reuse the cached compiled plan.  Jobs sharing a
+    method/preconditioner pair group into one admission batch.
 ``tol`` / ``maxiter``
     Stopping overrides (:class:`repro.runtime.StoppingCriterion`).
 ``local_iterations`` / ``block_size`` / ``omega`` / ``order`` /
@@ -44,7 +51,7 @@ from .service import SolveService
 
 __all__ = ["JobStreamError", "parse_job", "run_job_stream"]
 
-_REQUEST_KEYS = {"id", "priority", "timeout", "seed"}
+_REQUEST_KEYS = {"id", "priority", "timeout", "seed", "method", "precond"}
 _CONFIG_KEYS = {
     "local_iterations",
     "block_size",
@@ -126,6 +133,8 @@ def parse_job(
             seed=seed,
             config=config,
             stopping=stopping,
+            method=str(obj.get("method", "async")),
+            precond=obj.get("precond"),
         )
     except (TypeError, ValueError) as exc:
         raise JobStreamError(str(exc)) from None

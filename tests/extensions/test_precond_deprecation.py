@@ -1,0 +1,52 @@
+"""The ``extensions.precond`` shim: deprecated but bitwise-faithful."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig
+from repro.extensions.precond import AsyncPreconditioner
+from repro.krylov import AsyncSweepPreconditioner
+
+
+def test_shim_warns_and_delegates_bitwise(small_spd):
+    with pytest.warns(DeprecationWarning, match="moved to repro.krylov"):
+        legacy = AsyncPreconditioner(small_spd, sweeps=2)
+    canonical = AsyncSweepPreconditioner(small_spd, sweeps=2)
+    r = np.random.default_rng(0).standard_normal(60)
+    assert np.array_equal(legacy(r), canonical(r))
+
+
+def test_shim_is_a_subclass(small_spd):
+    with pytest.warns(DeprecationWarning):
+        legacy = AsyncPreconditioner(small_spd, sweeps=1)
+    assert isinstance(legacy, AsyncSweepPreconditioner)
+
+
+def test_shim_keeps_historical_order_forcing(small_spd):
+    # The prototype forced order="sequential" unconditionally; the
+    # canonical class keeps deterministic orders (e.g. "reversed").  The
+    # shim must reproduce the historical behaviour.
+    cfg = AsyncConfig(local_iterations=2, block_size=16, order="reversed")
+    with pytest.warns(DeprecationWarning):
+        legacy = AsyncPreconditioner(small_spd, sweeps=1, config=cfg)
+    assert legacy.config.order == "sequential"
+    canonical = AsyncSweepPreconditioner(
+        small_spd, sweeps=1, config=AsyncConfig(local_iterations=2, block_size=16)
+    )
+    r = np.random.default_rng(1).standard_normal(60)
+    assert np.array_equal(legacy(r), canonical(r))
+
+
+def test_package_reexport_still_works(small_spd):
+    from repro.extensions import AsyncPreconditioner as reexported
+
+    with pytest.warns(DeprecationWarning):
+        reexported(small_spd, sweeps=1)
+
+
+def test_canonical_class_does_not_warn(small_spd):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        AsyncSweepPreconditioner(small_spd, sweeps=1)

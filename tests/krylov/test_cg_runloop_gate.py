@@ -1,0 +1,101 @@
+"""History gate: CG-on-RunLoop is bitwise the pre-refactor bespoke loop.
+
+:class:`~repro.solvers.ConjugateGradientSolver` carries its recurrence
+state through a closure driven by :class:`~repro.runtime.RunLoop`, with
+the direction refresh deferred from the end of iteration *k* (the
+classical placement) to the start of iteration *k+1*.  That deferral runs
+the identical floating-point operations on identical values whenever the
+loop continues — so against the classical loop written out longhand, the
+iterates *and* the recorded residual histories must match **bitwise**,
+with and without a preconditioner, across the matrix suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.krylov import AsyncSweepPreconditioner
+from repro.matrices import default_rhs, get_matrix
+from repro.solvers import ConjugateGradientSolver, StoppingCriterion
+
+
+def classical_pcg(A, b, M=None, *, stopping):
+    """The pre-refactor loop: refresh at iteration end, own bookkeeping."""
+    n = A.shape[0]
+    x = np.zeros(n)
+    b_norm = float(np.linalg.norm(b))
+    threshold = stopping.threshold(b_norm)
+    r = A.residual(x, b)
+    z = M(r) if M else r
+    p = z.copy()
+    rz = float(r @ z)
+    residuals = [float(np.linalg.norm(r))]
+    converged = residuals[0] <= threshold
+    it = 0
+    while not converged and it < stopping.maxiter:
+        Ap = A.matvec(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0 or not np.isfinite(pAp):
+            break
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        it += 1
+        res = float(np.linalg.norm(A.residual(x, b)))
+        residuals.append(res)
+        if res <= threshold:
+            converged = True
+            break
+        # Classical placement: refresh the search direction here.
+        z = M(r) if M else r
+        rz_new = float(r @ z)
+        if rz == 0.0:
+            break
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    return x, np.asarray(residuals), converged
+
+
+@pytest.mark.parametrize(
+    "name,tol,maxiter",
+    [
+        ("fv1", 1e-10, 4000),
+        ("fv2", 1e-10, 4000),
+        ("fv3", 1e-8, 4000),
+        ("Chem97ZtZ", 1e-10, 1000),
+        ("Trefethen_2000", 1e-10, 500),
+    ],
+)
+def test_cg_history_bitwise_across_suite(name, tol, maxiter):
+    A = get_matrix(name)
+    b = default_rhs(A)
+    stop = StoppingCriterion(tol=tol, maxiter=maxiter)
+    result = ConjugateGradientSolver(stopping=stop).solve(A, b)
+    x, residuals, converged = classical_pcg(A, b, stopping=stop)
+    assert np.array_equal(result.residuals, residuals)
+    assert np.array_equal(result.x, x)
+    assert result.converged == converged
+
+
+@pytest.mark.parametrize("name", ["fv1", "Trefethen_2000"])
+def test_preconditioned_cg_history_bitwise(name):
+    A = get_matrix(name)
+    b = default_rhs(A)
+    stop = StoppingCriterion(tol=1e-10, maxiter=2000)
+    M = AsyncSweepPreconditioner(A, sweeps=2)
+    result = ConjugateGradientSolver(preconditioner=M, stopping=stop).solve(A, b)
+    x, residuals, converged = classical_pcg(A, b, M, stopping=stop)
+    assert np.array_equal(result.residuals, residuals)
+    assert np.array_equal(result.x, x)
+    assert result.converged == converged
+
+
+def test_truncated_budget_history_bitwise(small_spd):
+    # Budget exhaustion (no convergence) must also leave identical traces.
+    b = default_rhs(small_spd)
+    stop = StoppingCriterion(tol=0.0, maxiter=7)
+    result = ConjugateGradientSolver(stopping=stop).solve(small_spd, b)
+    x, residuals, _ = classical_pcg(small_spd, b, stopping=stop)
+    assert np.array_equal(result.residuals, residuals)
+    assert np.array_equal(result.x, x)
+    assert len(result.residuals) == 8

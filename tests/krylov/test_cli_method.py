@@ -1,0 +1,81 @@
+"""The solve CLI's --method/--precond outer-solver path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_solve_pcg_method(capsys):
+    assert main(["solve", "fv1", "--method", "pcg", "--tol", "1e-8"]) == 0
+    out = capsys.readouterr().out
+    assert "method:    pcg" in out
+    assert "converged: True" in out
+
+
+def test_solve_cg_json(capsys):
+    assert main(["solve", "fv1", "--method", "cg", "--tol", "1e-8", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["method"] == "cg" and doc["converged"]
+
+
+def test_solve_richardson2_small(capsys):
+    assert (
+        main(
+            [
+                "solve",
+                "Trefethen_2000",
+                "--method",
+                "richardson2",
+                "--tol",
+                "1e-8",
+                "--maxiter",
+                "4000",
+            ]
+        )
+        == 0
+    )
+    assert "richardson2" in capsys.readouterr().out
+
+
+def test_solve_gmres_with_jacobi(capsys):
+    assert (
+        main(
+            [
+                "solve",
+                "fv1",
+                "--method",
+                "gmres",
+                "--precond",
+                "jacobi",
+                "--restart",
+                "25",
+                "--tol",
+                "1e-8",
+            ]
+        )
+        == 0
+    )
+    assert "gmres" in capsys.readouterr().out
+
+
+def test_precond_requires_method(capsys):
+    assert main(["solve", "fv1", "--precond", "async:2"]) == 2
+    assert "--precond requires --method" in capsys.readouterr().err
+
+
+def test_bad_precond_spec_is_a_clean_error(capsys):
+    assert main(["solve", "fv1", "--method", "pcg", "--precond", "ilu"]) == 2
+    assert "unknown preconditioner" in capsys.readouterr().err
+
+
+def test_parser_accepts_method_choices():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["solve", "fv1", "--method", "pcg", "--precond", "async:3"]
+    )
+    assert args.method == "pcg" and args.precond == "async:3"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["solve", "fv1", "--method", "sor"])

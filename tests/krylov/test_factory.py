@@ -1,0 +1,113 @@
+"""The string-spec factory shared by the CLI and the serve job stream."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig
+from repro.krylov import (
+    OUTER_METHODS,
+    PRECOND_KINDS,
+    AsyncRichardsonSolver,
+    AsyncSweepPreconditioner,
+    JacobiPreconditioner,
+    make_outer_solver,
+    make_preconditioner,
+    parse_precond_spec,
+)
+from repro.matrices import default_rhs
+from repro.solvers import ConjugateGradientSolver, GMRESSolver, StoppingCriterion
+
+
+# --- spec parsing ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec,expected",
+    [
+        (None, ("none", None)),
+        ("none", ("none", None)),
+        ("jacobi", ("jacobi", None)),
+        ("async", ("async", 2)),
+        ("async:1", ("async", 1)),
+        ("async:5", ("async", 5)),
+    ],
+)
+def test_parse_precond_spec(spec, expected):
+    assert parse_precond_spec(spec) == expected
+
+
+@pytest.mark.parametrize(
+    "spec,match",
+    [
+        ("ilu", "unknown"),
+        ("jacobi:2", ":K"),
+        ("async:zero", "bad sweep"),
+        ("async:0", ">= 1"),
+    ],
+)
+def test_parse_precond_spec_errors(spec, match):
+    with pytest.raises(ValueError, match=match):
+        parse_precond_spec(spec)
+
+
+# --- preconditioner construction ------------------------------------------
+
+
+def test_make_preconditioner_kinds(small_spd):
+    assert make_preconditioner(None, small_spd) is None
+    assert make_preconditioner("none", small_spd) is None
+    assert isinstance(make_preconditioner("jacobi", small_spd), JacobiPreconditioner)
+    M = make_preconditioner("async:3", small_spd, config=AsyncConfig(block_size=16))
+    assert isinstance(M, AsyncSweepPreconditioner)
+    assert M.sweeps == 3
+
+
+# --- outer solvers --------------------------------------------------------
+
+
+def test_make_cg_and_pcg(small_spd):
+    cg = make_outer_solver("cg", small_spd)
+    assert isinstance(cg, ConjugateGradientSolver)
+    assert cg.preconditioner is None and cg.name == "cg"
+    pcg = make_outer_solver("pcg", small_spd, config=AsyncConfig(block_size=16))
+    assert isinstance(pcg.preconditioner, AsyncSweepPreconditioner)
+    assert pcg.name == "pcg"
+
+
+def test_make_gmres_with_restart(small_spd):
+    solver = make_outer_solver("gmres", small_spd, precond="jacobi", restart=17)
+    assert isinstance(solver, GMRESSolver)
+    assert solver.restart == 17
+    assert isinstance(solver.preconditioner, JacobiPreconditioner)
+
+
+def test_make_richardson_variants(small_spd):
+    r1 = make_outer_solver("richardson", small_spd, precond="jacobi")
+    assert isinstance(r1, AsyncRichardsonSolver)
+    assert r1.order == 1 and isinstance(r1.preconditioner, JacobiPreconditioner)
+    r2 = make_outer_solver("richardson2", small_spd, precond="async:3")
+    assert r2.order == 2 and r2.sweeps == 3 and r2.preconditioner is None
+
+
+def test_unknown_method(small_spd):
+    with pytest.raises(ValueError, match="unknown method"):
+        make_outer_solver("sor", small_spd)
+
+
+@pytest.mark.parametrize("method", OUTER_METHODS)
+def test_every_method_solves_the_small_system(small_spd, method):
+    b = default_rhs(small_spd)
+    solver = make_outer_solver(
+        method,
+        small_spd,
+        config=AsyncConfig(block_size=16),
+        stopping=StoppingCriterion(tol=1e-10, maxiter=3000),
+    )
+    result = solver.solve(small_spd, b)
+    assert result.converged
+    assert np.linalg.norm(small_spd.residual(result.x, b)) <= 1e-9 * np.linalg.norm(b)
+
+
+def test_constants_are_consistent():
+    assert set(PRECOND_KINDS) == {"none", "jacobi", "async"}
+    assert "pcg" in OUTER_METHODS and "richardson2" in OUTER_METHODS

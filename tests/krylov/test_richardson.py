@@ -1,0 +1,149 @@
+"""First/second-order async Richardson: identities, tuning, validation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import AsyncConfig
+from repro.core.engine import AsyncEngine
+from repro.krylov import AsyncRichardsonSolver, AsyncSweepPreconditioner
+from repro.matrices import default_rhs
+from repro.solvers import StoppingCriterion
+from repro.sparse import BlockRowView
+
+
+def test_alpha_one_equals_plain_engine_sweeps(small_spd):
+    # With alpha=1 and P = m frozen zero-guess sweeps, each outer step is
+    # exactly m ordinary engine sweeps from the current iterate.
+    cfg = AsyncConfig(local_iterations=2, block_size=16, order="sequential")
+    b = default_rhs(small_spd)
+    iters = 5
+    solver = AsyncRichardsonSolver(
+        cfg, order=1, sweeps=2, alpha=1.0,
+        stopping=StoppingCriterion(tol=0.0, maxiter=iters),
+    )
+    result = solver.solve(small_spd, b)
+
+    frozen = dataclasses.replace(cfg, stale_read_prob=0.0, deferred_write_prob=0.0, seed=0)
+    engine = AsyncEngine(BlockRowView(small_spd, block_size=16), b, frozen)
+    x = np.zeros(60)
+    for _ in range(iters * 2):
+        x = engine.sweep(x)
+
+    scale = np.linalg.norm(x)
+    assert np.allclose(result.x, x, atol=1e-10 * max(scale, 1.0))
+
+
+def test_order1_defaults_to_alpha_one(small_spd):
+    b = default_rhs(small_spd)
+    solver = AsyncRichardsonSolver(
+        AsyncConfig(local_iterations=2, block_size=16),
+        stopping=StoppingCriterion(tol=1e-10, maxiter=500),
+    )
+    result = solver.solve(small_spd, b)
+    assert result.converged
+    assert result.info["alpha"] == 1.0 and result.info["beta"] == 0.0
+    assert result.info["preconditioner"].startswith("async(")
+    assert result.method == "richardson"
+
+
+def test_order2_auto_tunes_and_converges(small_spd):
+    b = default_rhs(small_spd)
+    solver = AsyncRichardsonSolver(
+        AsyncConfig(block_size=16),
+        order=2,
+        stopping=StoppingCriterion(tol=1e-10, maxiter=2000),
+    )
+    result = solver.solve(small_spd, b)
+    assert result.converged
+    assert result.info["beta"] > 0.0
+    assert result.method == "richardson2"
+
+
+def test_order2_momentum_beats_order1_on_same_operator(trefethen_small):
+    b = default_rhs(trefethen_small)
+    stop = StoppingCriterion(tol=1e-10, maxiter=4000)
+    kw = dict(config=AsyncConfig(block_size=64), stopping=stop)
+    r1 = AsyncRichardsonSolver(order=1, **kw).solve(trefethen_small, b)
+    r2 = AsyncRichardsonSolver(order=2, **kw).solve(trefethen_small, b)
+    assert r1.converged and r2.converged
+    assert r2.iterations <= r1.iterations
+
+
+def test_explicit_alpha_beta_used_verbatim(small_spd):
+    b = default_rhs(small_spd)
+    solver = AsyncRichardsonSolver(
+        AsyncConfig(block_size=16),
+        order=2,
+        alpha=0.8,
+        beta=0.1,
+        stopping=StoppingCriterion(tol=1e-10, maxiter=2000),
+    )
+    result = solver.solve(small_spd, b)
+    assert result.converged
+    assert result.info["alpha"] == 0.8 and result.info["beta"] == 0.1
+
+
+def test_explicit_mu_bounds_drive_heavy_ball(small_spd):
+    b = default_rhs(small_spd)
+    solver = AsyncRichardsonSolver(
+        AsyncConfig(block_size=16),
+        order=2,
+        mu_min=0.2,
+        mu_max=1.5,
+        stopping=StoppingCriterion(tol=1e-10, maxiter=2000),
+    )
+    result = solver.solve(small_spd, b)
+    assert result.converged
+    s_lo, s_hi = np.sqrt(0.2), np.sqrt(1.5)
+    assert result.info["alpha"] == pytest.approx((2.0 / (s_hi + s_lo)) ** 2)
+    assert result.info["beta"] == pytest.approx(((s_hi - s_lo) / (s_hi + s_lo)) ** 2)
+
+
+def test_order2_custom_operator_without_bounds_raises(small_spd):
+    class Opaque:
+        name = "opaque"
+
+        def __call__(self, r):
+            return r
+
+    solver = AsyncRichardsonSolver(order=2, preconditioner=Opaque())
+    with pytest.raises(ValueError, match="bounds"):
+        solver.solve(small_spd, default_rhs(small_spd))
+
+
+def test_custom_preconditioner_is_used(small_spd):
+    cfg = AsyncConfig(local_iterations=1, block_size=16, order="synchronous", omega=0.4)
+    P = AsyncSweepPreconditioner(small_spd, sweeps=2, config=cfg, symmetrize=False)
+    solver = AsyncRichardsonSolver(
+        order=2, preconditioner=P, stopping=StoppingCriterion(tol=1e-10, maxiter=2000)
+    )
+    result = solver.solve(small_spd, default_rhs(small_spd))
+    assert result.converged
+    assert result.info["preconditioner"] == P.name
+
+
+def test_predicted_rate():
+    s = AsyncRichardsonSolver(order=2, mu_min=0.25, mu_max=1.0)
+    kappa = 4.0
+    assert s.predicted_rate() == pytest.approx((2.0 - 1.0) / (2.0 + 1.0))
+    s1 = AsyncRichardsonSolver(order=1, mu_min=0.25, mu_max=1.0)
+    assert s1.predicted_rate() == pytest.approx((kappa - 1.0) / (kappa + 1.0))
+    assert AsyncRichardsonSolver().predicted_rate() is None
+
+
+@pytest.mark.parametrize(
+    "kwargs,match",
+    [
+        (dict(order=3), "order"),
+        (dict(beta=0.5), "order=2"),
+        (dict(order=2, beta=0.5), "alpha"),
+        (dict(mu_min=0.1), "both"),
+        (dict(order=2, mu_min=-1.0, mu_max=2.0), "0 < mu_min"),
+        (dict(sweeps=0), "sweeps"),
+    ],
+)
+def test_constructor_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        AsyncRichardsonSolver(**kwargs)
